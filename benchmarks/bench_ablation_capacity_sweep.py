@@ -1,0 +1,57 @@
+"""Ablation: fine-grained capacity-ratio sweep beyond the paper's three points.
+
+The paper evaluates 75/50/25% local capacity.  This sweep adds intermediate
+points to locate where each application's remote access ratio crosses the
+bandwidth-ratio reference (the point where the pool starts to throttle memory
+performance), which is exactly the deployment decision the methodology is
+meant to inform.
+"""
+
+from repro.profiler.level2 import Level2Profiler
+from repro.sim.platform import Platform
+from repro.workloads import build_workload
+
+FRACTIONS = (0.9, 0.75, 0.6, 0.5, 0.4, 0.25, 0.1)
+WORKLOADS = ("Hypre", "BFS", "XSBench")
+
+
+def _sweep():
+    profiler = Level2Profiler(seed=0)
+    rows = {}
+    for name in WORKLOADS:
+        spec = build_workload(name, 1.0)
+        series = []
+        for fraction in FRACTIONS:
+            platform = Platform.pooled(spec.footprint_bytes, fraction)
+            profile = profiler.profile(spec, platform)
+            series.append(
+                {
+                    "local_fraction": fraction,
+                    "remote_access": profile.phase_report("p2").remote_access_ratio,
+                    "bandwidth_ratio": profile.remote_bandwidth_ratio,
+                }
+            )
+        rows[name] = series
+    return rows
+
+
+def test_ablation_capacity_sweep(benchmark, once, capsys):
+    rows = once(benchmark, _sweep)
+    with capsys.disabled():
+        print("\n=== Ablation: capacity-ratio sweep (p2 remote access ratio) ===")
+        header = f"{'workload':<10}" + "".join(f"  {int(f * 100):>3}%" for f in FRACTIONS)
+        print(header + "   (local capacity fraction)")
+        for name, series in rows.items():
+            cells = "".join(f"  {point['remote_access']:>4.0%}" for point in series)
+            print(f"{name:<10}{cells}")
+        r_bw = rows["Hypre"][0]["bandwidth_ratio"]
+        print(f"\nbandwidth-ratio reference R_BW = {r_bw:.0%}")
+    # Remote access grows monotonically as local capacity shrinks for the
+    # capacity-driven codes, while XSBench stays essentially local throughout.
+    for name in ("Hypre", "BFS"):
+        series = [p["remote_access"] for p in rows[name]]
+        assert all(b >= a - 0.03 for a, b in zip(series, series[1:]))
+    xs_paper_range = [
+        p["remote_access"] for p in rows["XSBench"] if p["local_fraction"] >= 0.25
+    ]
+    assert max(xs_paper_range) < 0.15

@@ -1,0 +1,19 @@
+"""Figure 1: evolution of memory characteristics of leadership supercomputers."""
+
+from repro.analysis.figures import figure1_memory_evolution
+
+
+def test_fig01_memory_evolution(benchmark, once, capsys):
+    data = once(benchmark, figure1_memory_evolution)
+    assert len(data["years"]) >= 8
+    with capsys.disabled():
+        print("\n=== Figure 1: memory capacity / bandwidth per node of No. 1 systems ===")
+        print(f"{'year':>6} {'system':<22} {'GB/node':>10} {'GB/s/node':>12} {'GB/s/core':>10}")
+        for year, system, cap, bw, bw_core in zip(
+            data["years"],
+            data["systems"],
+            data["memory_gb_per_node"],
+            data["bandwidth_gbs_per_node"],
+            data["bandwidth_per_core_gbs"],
+        ):
+            print(f"{year:>6} {system:<22} {cap:>10.0f} {bw:>12.0f} {bw_core:>10.2f}")

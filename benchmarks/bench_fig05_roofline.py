@@ -1,0 +1,20 @@
+"""Figure 5: roofline model with per-phase points for all evaluated workloads."""
+
+from repro.analysis.figures import figure5_roofline
+
+
+def test_fig05_roofline(benchmark, once, capsys):
+    series = once(benchmark, figure5_roofline)
+    assert len(series["points"]) >= 12
+    with capsys.disabled():
+        print("\n=== Figure 5: roofline placement of application phases ===")
+        print(f"peak = {series['peak_gflops']:.0f} Gflop/s, "
+              f"ridge (local tier) = {series['base_roof']['ridge']:.1f} flop/B, "
+              f"ridge (with pool tier) = {series['extended_roof']['ridge']:.1f} flop/B")
+        print(f"{'phase':<14} {'AI (flop/B)':>12} {'Gflop/s':>10} {'bound':>10} {'efficiency':>11}")
+        for point in sorted(series["points"], key=lambda p: p["intensity"]):
+            bound = "memory" if point["memory_bound"] else "compute"
+            print(
+                f"{point['label']:<14} {point['intensity']:>12.3f} {point['gflops']:>10.1f} "
+                f"{bound:>10} {point['efficiency']:>10.0%}"
+            )

@@ -1,0 +1,23 @@
+"""Figure 6: bandwidth-capacity scaling curves for six workloads x three inputs."""
+
+from repro.analysis.figures import figure6_scaling_curves
+
+
+def test_fig06_scaling_curves(benchmark, once, capsys):
+    panels = once(benchmark, figure6_scaling_curves)
+    assert len(panels) == 6
+    with capsys.disabled():
+        print("\n=== Figure 6: cumulative access vs footprint (hottest pages first) ===")
+        marks = (10, 25, 50, 75, 100)
+        for workload, curves in panels.items():
+            print(f"\n{workload}:")
+            header = "  " + f"{'input':<32}" + "".join(f"  @{m:>3}%" for m in marks) + "   skew"
+            print(header)
+            for label, curve in curves.items():
+                import numpy as np
+
+                pct = np.asarray(curve["footprint_pct"])
+                acc = np.asarray(curve["access_pct"])
+                samples = [float(np.interp(m, pct, acc)) for m in marks]
+                row = "  " + f"{label:<32}" + "".join(f" {s:>5.1f}%" for s in samples)
+                print(row + f"   {curve['skewness']:.2f}")

@@ -1,0 +1,26 @@
+"""Figure 7: L2 cacheline timeline with and without hardware prefetching."""
+
+import numpy as np
+
+from repro.analysis.figures import figure7_prefetch_timeline
+
+
+def test_fig07_prefetch_timeline(benchmark, once, capsys):
+    panels = once(benchmark, figure7_prefetch_timeline, workloads=("NekRS", "HPL", "XSBench"))
+    assert set(panels) == {"NekRS", "HPL", "XSBench"}
+    with capsys.disabled():
+        print("\n=== Figure 7: memory traffic timeline with/without L2 prefetching ===")
+        for name, series in panels.items():
+            with_pf = series["with-prefetch"]
+            without_pf = series["without-prefetch"]
+            total_with = with_pf["l2_lines"].sum()
+            total_without = without_pf["l2_lines"].sum()
+            rate_with = total_with / with_pf["time"][-1]
+            rate_without = total_without / without_pf["time"][-1]
+            print(
+                f"{name:<8} runtime: {with_pf['time'][-1]:7.1f}s (pf on) vs "
+                f"{without_pf['time'][-1]:7.1f}s (pf off) | "
+                f"total lines: {total_with:.3e} vs {total_without:.3e} "
+                f"(+{(total_with / total_without - 1) * 100:4.1f}%) | "
+                f"line rate: {rate_with:.2e}/s vs {rate_without:.2e}/s"
+            )

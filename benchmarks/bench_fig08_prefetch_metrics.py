@@ -1,0 +1,16 @@
+"""Figure 8: prefetch accuracy, coverage, excessive traffic and performance gain."""
+
+from repro.analysis.figures import figure8_prefetch_metrics
+
+
+def test_fig08_prefetch_metrics(benchmark, once, capsys):
+    rows = once(benchmark, figure8_prefetch_metrics)
+    assert len(rows) == 6
+    with capsys.disabled():
+        print("\n=== Figure 8: prefetching suitability per application ===")
+        print(f"{'workload':<10} {'accuracy':>9} {'coverage':>9} {'excess traffic':>15} {'perf gain':>10}")
+        for name, row in rows.items():
+            print(
+                f"{name:<10} {row['accuracy']:>8.0%} {row['coverage']:>8.0%} "
+                f"{row['excess_traffic']:>14.0%} {row['performance_gain']:>9.0%}"
+            )

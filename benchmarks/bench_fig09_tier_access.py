@@ -1,0 +1,22 @@
+"""Figure 9: remote access ratio per phase on the three capacity-ratio systems."""
+
+from repro.analysis.figures import figure9_tier_access
+
+
+def test_fig09_tier_access(benchmark, once, capsys):
+    panels = once(benchmark, figure9_tier_access)
+    assert set(panels) == {"75-25", "50-50", "25-75"}
+    with capsys.disabled():
+        print("\n=== Figure 9: access ratio to the pooled tier (per phase) ===")
+        for label, panel in panels.items():
+            print(
+                f"\n-- {label} capacity split: R_cap = {panel['capacity_ratio']:.0%}, "
+                f"R_BW = {panel['bandwidth_ratio']:.0%} --"
+            )
+            for row in panel["phases"]:
+                marker = ""
+                if row["remote_access_ratio"] > panel["bandwidth_ratio"]:
+                    marker = "  [above R_BW: slow tier limits memory performance]"
+                elif row["remote_access_ratio"] < panel["capacity_ratio"]:
+                    marker = "  [below R_cap: pool capacity headroom unused]"
+                print(f"  {row['label']:<14} {row['remote_access_ratio']:>6.1%}{marker}")

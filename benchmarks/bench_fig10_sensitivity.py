@@ -1,0 +1,18 @@
+"""Figure 10: application sensitivity to memory-pool interference."""
+
+from repro.analysis.figures import figure10_sensitivity
+
+
+def test_fig10_sensitivity(benchmark, once, capsys):
+    panels = once(benchmark, figure10_sensitivity)
+    assert set(panels) == {"75-25", "50-50", "25-75"}
+    with capsys.disabled():
+        print("\n=== Figure 10: relative performance under LBench interference ===")
+        for label, rows in panels.items():
+            print(f"\n-- {label} capacity split --")
+            lois = rows["Hypre"]["loi"]
+            header = f"{'workload':<10}" + "".join(f"  LoI={int(l):>3}" for l in lois)
+            print(header)
+            for name, series in rows.items():
+                cells = "".join(f"  {p:>7.3f}" for p in series["relative_performance"])
+                print(f"{name:<10}{cells}")

@@ -1,0 +1,27 @@
+"""Figure 11: LBench validation and per-application interference coefficients."""
+
+from repro.analysis.figures import figure11_lbench
+
+
+def test_fig11_lbench(benchmark, once, capsys):
+    data = once(benchmark, figure11_lbench)
+    with capsys.disabled():
+        print("\n=== Figure 11 (left): measured LoI vs configured intensity ===")
+        for threads, points in data["loi_scaling"].items():
+            series = ", ".join(f"{p['configured']:.0f}->{p['measured']:.1f}" for p in points)
+            print(f"  {threads}: {series}")
+        print("\n=== Section 3.2: LoI calibration (flops/element per LoI, 2 threads) ===")
+        print("  " + ", ".join(f"LoI {k:.0f}%: NFLOP={v}" for k, v in data["loi_calibration"].items()))
+        print("\n=== Figure 11 (middle): LBench IC vs PCM traffic ===")
+        print(f"{'flops/elem':>10} {'IC':>6} {'PCM GB/s':>10}")
+        for point in data["contention_curve"]:
+            print(
+                f"{point['flops_per_element']:>10.0f} {point['interference_coefficient']:>6.2f} "
+                f"{point['pcm_traffic'] / 1e9:>10.1f}"
+            )
+        print("\n=== Figure 11 (right): interference coefficient per application (50% pooling) ===")
+        for name, row in sorted(
+            data["application_ic"].items(), key=lambda kv: -kv[1]["interference_coefficient"]
+        ):
+            phases = ", ".join(f"{p}={v:.2f}" for p, v in row["phase_coefficients"].items())
+            print(f"  {name:<10} IC={row['interference_coefficient']:.2f}  ({phases})")

@@ -1,0 +1,30 @@
+"""Figure 12: the BFS data-placement optimisation case study (Section 7.1)."""
+
+from repro.analysis.figures import figure12_bfs_case_study
+
+
+def test_fig12_bfs_case_study(benchmark, once, capsys):
+    data = once(benchmark, figure12_bfs_case_study)
+    with capsys.disabled():
+        print("\n=== Figure 12: BFS placement optimisation ===")
+        print(f"{'variant':<11} {'config':<12} {'runtime s':>10} {'remote access':>14} "
+              f"{'remote GB':>10} {'max interference loss':>22}")
+        for row in data["rows"]:
+            loss = row["max_interference_loss"]
+            loss_s = f"{loss:.1%}" if loss is not None else "-"
+            print(
+                f"{row['variant']:<11} {row['config']:<12} {row['runtime_s']:>10.1f} "
+                f"{row['remote_access_ratio']:>13.1%} {row['remote_bytes'] / 1e9:>10.1f} {loss_s:>22}"
+            )
+        print("\nSpeedups over baseline:")
+        for config, speedups in data["speedups"].items():
+            print(
+                f"  {config}: reorder allocations +{speedups['reordered']:.0%}, "
+                f"reorder + free init temp +{speedups['optimized']:.0%}"
+            )
+        print("Remote-access reduction (absolute):")
+        for config, reduction in data["remote_reduction"].items():
+            print(
+                f"  {config}: reordered -{reduction['reordered']:.0%}, "
+                f"optimized -{reduction['optimized']:.0%}"
+            )

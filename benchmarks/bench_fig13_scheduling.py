@@ -1,0 +1,25 @@
+"""Figure 13: interference-aware job scheduling (Section 7.2)."""
+
+from repro.analysis.figures import figure13_scheduling
+
+
+def test_fig13_scheduling(benchmark, once, capsys):
+    data = once(benchmark, figure13_scheduling, n_runs=100)
+    assert len(data["per_workload"]) == 6
+    with capsys.disabled():
+        print("\n=== Figure 13: execution time over 100 runs, random vs interference-aware ===")
+        print(f"{'workload':<10} {'policy':<20} {'min':>8} {'q1':>8} {'median':>8} {'q3':>8} {'max':>8}")
+        for name, summary in data["per_workload"].items():
+            for policy_key, label in (("baseline", "random baseline"), ("interference_aware", "interference-aware")):
+                s = summary[policy_key]
+                print(
+                    f"{name:<10} {label:<20} {s['min']:>8.1f} {s['q1']:>8.1f} "
+                    f"{s['median']:>8.1f} {s['q3']:>8.1f} {s['max']:>8.1f}"
+                )
+        print("\nMean speedup / p75 reduction from interference awareness:")
+        for name, summary in data["per_workload"].items():
+            print(
+                f"  {name:<10} speedup {summary['mean_speedup']:>5.1%}   "
+                f"p75 reduction {summary['p75_reduction']:>5.1%}"
+            )
+        print(f"Most improved workload: {data['most_improved']}")

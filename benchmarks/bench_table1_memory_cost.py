@@ -1,0 +1,24 @@
+"""Table 1: memory configuration and estimated cost of the Top-10 systems."""
+
+from repro.analysis.tables import format_table, table1_memory_cost
+
+
+def test_table1_memory_cost(benchmark, once, capsys):
+    rows = once(benchmark, table1_memory_cost)
+    assert len(rows) == 10
+    with capsys.disabled():
+        print("\n=== Table 1: Top-10 memory configuration and estimated cost ===")
+        print(
+            format_table(
+                rows,
+                columns=[
+                    "rank",
+                    "system",
+                    "ddr_gb_per_node",
+                    "hbm_gb_per_node",
+                    "nodes",
+                    "est_ddr_cost_musd",
+                    "est_hbm_cost_musd_mid",
+                ],
+            )
+        )

@@ -1,0 +1,16 @@
+"""Table 2: the evaluated workloads and their three input problems."""
+
+from repro.analysis.tables import format_table, table2_workloads
+
+
+def test_table2_workloads(benchmark, once, capsys):
+    rows = once(benchmark, table2_workloads)
+    assert len(rows) == 6
+    with capsys.disabled():
+        print("\n=== Table 2: evaluated workloads (1:2:4 footprints) ===")
+        print(
+            format_table(
+                rows,
+                columns=["application", "parallelization", "input_problems", "footprints_gb"],
+            )
+        )

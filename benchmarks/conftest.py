@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the same rows/series the paper reports (captured by ``--benchmark-only`` runs
+with ``-s``).  Benchmarks run each builder once (``rounds=1``) because the
+builders are deterministic and some of them are full experiments rather than
+micro-kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

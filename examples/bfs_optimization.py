@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Case study 1: optimising BFS's data placement on pooled memory (Section 7.1).
+
+The example has two parts:
+
+1. A *real* (reduced-scale) Ligra-style BFS on an RMAT graph, used to verify
+   the behavioural model's key assumption: the per-vertex ``Parents`` array is
+   tiny compared with the adjacency lists, and adjacency traffic concentrates
+   on a small set of high-degree vertices.
+2. The placement case study itself on the simulator: baseline allocation
+   order, reordered allocations (Parents first) and the reorder + free-the-
+   initialisation-temporary variant, at 50% and 75% memory pooling.
+
+Run with::
+
+    python examples/bfs_optimization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.casestudies.bfs_placement import BFSPlacementCaseStudy
+from repro.workloads.rmat import adjacency_access_counts, bfs, rmat_graph
+
+
+def validate_model_assumptions() -> None:
+    """Check the hot-object assumption on an actual small RMAT graph."""
+    print("=== Reduced-scale RMAT BFS (real traversal) ===")
+    graph = rmat_graph(scale=14, edge_factor=16, seed=7)
+    result = bfs(graph, source=0)
+    parents_bytes = result.parents.nbytes
+    graph_bytes = graph.memory_bytes()
+    counts = adjacency_access_counts(graph, result)
+    ordered = np.sort(counts)[::-1]
+    top5pct = ordered[: max(len(ordered) // 20, 1)].sum() / max(ordered.sum(), 1)
+    print(f"graph: 2^14 vertices, {graph.n_edges} directed edges "
+          f"({graph_bytes / 1e6:.1f} MB CSR)")
+    print(f"BFS reached {result.n_reached} vertices in {result.n_iterations} iterations "
+          f"(max frontier {result.max_frontier})")
+    print(f"Parents array is only {parents_bytes / graph_bytes:.1%} of the graph footprint")
+    print(f"the top 5% highest-degree vertices receive {top5pct:.0%} of adjacency traffic")
+    print("-> a small, very hot object plus skewed adjacency access: exactly what the\n"
+          "   behavioural model assumes and what first-touch placement gets wrong.\n")
+
+
+def run_case_study() -> None:
+    print("=== Placement case study on the emulated platform ===")
+    study = BFSPlacementCaseStudy(scale=1.0, seed=0)
+    result = study.run(pool_fractions=(0.50, 0.75), with_sensitivity=True,
+                       loi_levels=(0.0, 25.0, 50.0))
+    for config in ("50%-pooled", "75%-pooled"):
+        print(f"\n-- {config} --")
+        baseline = result.variant("baseline", config)
+        for variant in ("baseline", "reordered", "optimized"):
+            v = result.variant(variant, config)
+            speedup = baseline.runtime / v.runtime - 1.0
+            loss = v.sensitivity.max_performance_loss if v.sensitivity else float("nan")
+            print(f"  {variant:<10} runtime {v.runtime:6.1f} s ({speedup:+5.0%})  "
+                  f"remote access {v.remote_access_ratio:5.0%}  "
+                  f"remote traffic {v.remote_bytes / 1e9:7.1f} GB  "
+                  f"interference loss @LoI=50 {loss:5.1%}")
+    print("\nPaper's reference numbers at 75% pooling: remote access 99% -> 80% -> 50%,")
+    print("total speedup 13%, and a clearly reduced interference sensitivity.")
+
+
+def main() -> int:
+    validate_model_assumptions()
+    run_case_study()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

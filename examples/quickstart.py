@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload on the emulated disaggregated-memory platform.
+
+This example mirrors the first step a user of the methodology takes: pick an
+application, run it on a node-local memory system to capture its intrinsic
+requirements, then run it again with half of its footprint backed by the
+rack-level memory pool and compare.
+
+Run with::
+
+    python examples/quickstart.py [workload]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.sim import ConstantInterference, ExecutionEngine, Platform
+from repro.workloads import build_workload, workload_names
+
+
+def main() -> int:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Hypre"
+    if name not in workload_names():
+        print(f"unknown workload {name!r}; choose one of {', '.join(workload_names())}")
+        return 2
+
+    spec = build_workload(name, scale=1.0)
+    print(f"Workload: {spec.name} ({spec.input_label})")
+    print(f"Memory footprint: {spec.footprint_bytes / 1e9:.2f} GB "
+          f"across {len(spec.objects)} allocations")
+    print(f"Phases: {', '.join(spec.phase_names)}")
+    print()
+
+    # 1. Node-local memory only: the application's intrinsic behaviour.
+    local = ExecutionEngine(Platform.local_only(), seed=0).run(spec)
+    print("--- node-local memory only ---")
+    for phase in local.phases:
+        print(f"  {phase.name}: {phase.runtime:7.1f} s | "
+              f"AI = {phase.arithmetic_intensity:6.2f} flop/B | "
+              f"{phase.achieved_flops / 1e9:7.1f} Gflop/s | "
+              f"{phase.achieved_bandwidth / 1e9:5.1f} GB/s | "
+              f"prefetch coverage {phase.prefetch_coverage:.0%}")
+    print(f"  total runtime: {local.total_runtime:.1f} s")
+    print()
+
+    # 2. Half of the footprint on the rack memory pool (the 50-50 system).
+    pooled_platform = Platform.pooled(spec.footprint_bytes, local_fraction=0.5)
+    pooled = ExecutionEngine(pooled_platform, seed=0).run(spec)
+    print("--- 50% node-local / 50% memory pool ---")
+    print(f"  remote capacity ratio: {pooled.remote_capacity_ratio:.0%}")
+    print(f"  remote access ratio:   {pooled.remote_access_ratio:.0%}")
+    print(f"  total runtime:         {pooled.total_runtime:.1f} s "
+          f"({pooled.total_runtime / local.total_runtime - 1:+.1%} vs local-only)")
+    print()
+
+    # 3. The same pooled system while another node floods the pool link.
+    noisy = ExecutionEngine(pooled_platform, seed=0).run(
+        spec, interference=ConstantInterference(50.0)
+    )
+    print("--- 50-50 system with LoI=50% interference on the pool link ---")
+    print(f"  total runtime: {noisy.total_runtime:.1f} s "
+          f"({noisy.total_runtime / pooled.total_runtime - 1:+.1%} vs idle pool)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

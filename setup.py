@@ -1,0 +1,10 @@
+"""Setuptools shim for offline editable installs (`pip install -e .`).
+
+All project metadata lives in pyproject.toml; this file only exists so pip can
+use the legacy `setup.py develop` path in environments without the `wheel`
+package (such as the offline reproduction environment).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — reproduction of "A Quantitative Approach for Adopting Disaggregated
+Memory in HPC Systems" (SC 2023).
+
+The package provides:
+
+* a tiered-memory / cache / interconnect simulator standing in for the paper's
+  dual-socket emulation platform (:mod:`repro.config`, :mod:`repro.memory`,
+  :mod:`repro.cache`, :mod:`repro.interconnect`, :mod:`repro.sim`),
+* behavioural models of the six evaluated HPC applications and the LBench
+  interference benchmark (:mod:`repro.workloads`),
+* the three-level memory-centric profiler (:mod:`repro.profiler`),
+* analytical models: roofline, memory roofline, bandwidth-capacity scaling
+  curves, cost model (:mod:`repro.models`),
+* an interference-aware job-scheduling simulator (:mod:`repro.scheduler`),
+* the paper's two case studies (:mod:`repro.casestudies`), and
+* figure/table builders regenerating every experiment (:mod:`repro.analysis`).
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .config import (
+    SKYLAKE_EMULATION,
+    TestbedConfig,
+    TieredMemoryConfig,
+    capacity_ratio_config,
+    paper_tier_configs,
+)
+from .sim import (
+    ConstantInterference,
+    ExecutionEngine,
+    NoInterference,
+    Platform,
+    RandomInterference,
+    RunResult,
+)
+from .workloads import (
+    LBench,
+    WorkloadSpec,
+    build_workload,
+    get_model,
+    workload_names,
+)
+
+__all__ = [
+    "__version__",
+    "SKYLAKE_EMULATION",
+    "TestbedConfig",
+    "TieredMemoryConfig",
+    "capacity_ratio_config",
+    "paper_tier_configs",
+    "ConstantInterference",
+    "ExecutionEngine",
+    "NoInterference",
+    "Platform",
+    "RandomInterference",
+    "RunResult",
+    "LBench",
+    "WorkloadSpec",
+    "build_workload",
+    "get_model",
+    "workload_names",
+]

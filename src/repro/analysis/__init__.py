@@ -1,0 +1,35 @@
+"""Figure and table builders regenerating every experiment of the paper."""
+
+from .figures import (
+    figure1_memory_evolution,
+    figure5_roofline,
+    figure6_scaling_curves,
+    figure7_prefetch_timeline,
+    figure8_prefetch_metrics,
+    figure9_tier_access,
+    figure10_sensitivity,
+    figure11_lbench,
+    figure12_bfs_case_study,
+    figure13_scheduling,
+)
+from .report import ALL_EXPERIMENTS, ReportSection, measured_report
+from .tables import format_table, table1_memory_cost, table2_workloads
+
+__all__ = [
+    "figure1_memory_evolution",
+    "figure5_roofline",
+    "figure6_scaling_curves",
+    "figure7_prefetch_timeline",
+    "figure8_prefetch_metrics",
+    "figure9_tier_access",
+    "figure10_sensitivity",
+    "figure11_lbench",
+    "figure12_bfs_case_study",
+    "figure13_scheduling",
+    "ALL_EXPERIMENTS",
+    "ReportSection",
+    "measured_report",
+    "format_table",
+    "table1_memory_cost",
+    "table2_workloads",
+]

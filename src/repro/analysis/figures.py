@@ -1,0 +1,242 @@
+"""Figure builders: regenerate the data series behind every figure of the paper.
+
+Each function returns plain Python/NumPy data structures (dictionaries of
+series) rather than rendering plots, so the benchmarks can print the same
+rows/series the paper reports and users can plot them with any tool.  The
+mapping from figure number to builder is listed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..casestudies.bfs_placement import BFSPlacementCaseStudy
+from ..casestudies.scheduling import SchedulingCaseStudy
+from ..data.top500 import memory_evolution
+from ..models.roofline import RooflinePoint, roofline_series
+from ..profiler.level1 import Level1Profiler
+from ..profiler.level2 import Level2Profiler
+from ..profiler.level3 import Level3Profiler
+from ..sim.platform import Platform
+from ..workloads.lbench import LBench
+from ..workloads.registry import all_models, build_all, get_model
+
+
+def figure1_memory_evolution() -> dict:
+    """Figure 1: evolution of memory capacity/bandwidth of top supercomputers."""
+    points = memory_evolution()
+    return {
+        "years": [p.year for p in points],
+        "systems": [p.system for p in points],
+        "memory_gb_per_node": [p.memory_gb_per_node for p in points],
+        "bandwidth_gbs_per_node": [p.memory_bandwidth_gbs_per_node for p in points],
+        "bandwidth_per_core_gbs": [p.bandwidth_per_core_gbs for p in points],
+        "capacity_per_core_gb": [p.capacity_per_core_gb for p in points],
+    }
+
+
+def figure5_roofline(scale: float = 1.0, seed: int = 0) -> dict:
+    """Figure 5: roofline with the per-phase AI/throughput of every workload."""
+    profiler = Level1Profiler(seed=seed)
+    points: list[RooflinePoint] = []
+    for spec in build_all(scale):
+        profile = profiler.profile(spec)
+        for label, intensity, gflops in profile.phase_points():
+            points.append(RooflinePoint(label=label, arithmetic_intensity=intensity, gflops=gflops))
+    return roofline_series(points)
+
+
+def figure6_scaling_curves(seed: int = 0, n_points: int = 101) -> dict:
+    """Figure 6: bandwidth-capacity scaling curves, 6 workloads x 3 input scales."""
+    profiler = Level1Profiler(seed=seed)
+    panels = {}
+    for model in all_models():
+        curves = profiler.scaling_curves(model.inputs())
+        panels[model.name] = {
+            label: {
+                "footprint_pct": curve.footprint_pct,
+                "access_pct": curve.access_pct,
+                "skewness": curve.skewness,
+            }
+            for label, curve in curves.items()
+        }
+    return panels
+
+
+def figure7_prefetch_timeline(
+    workloads: Sequence[str] = ("NekRS", "HPL", "XSBench"),
+    scale: float = 1.0,
+    steps_per_phase: int = 40,
+    seed: int = 0,
+) -> dict:
+    """Figure 7: L2 cacheline timeline with and without prefetching."""
+    profiler = Level1Profiler(seed=seed)
+    panels = {}
+    for name in workloads:
+        spec = get_model(name).build(scale)
+        timelines = profiler.prefetch_timeline(spec, steps_per_phase=steps_per_phase)
+        panels[name] = {
+            label: {"time": times, "l2_lines": lines}
+            for label, (times, lines) in timelines.items()
+        }
+    return panels
+
+
+def figure8_prefetch_metrics(scale: float = 1.0, seed: int = 0) -> dict:
+    """Figure 8: prefetch accuracy, coverage, excess traffic and performance gain."""
+    profiler = Level1Profiler(seed=seed)
+    rows = {}
+    for spec in build_all(scale):
+        report = profiler.profile(spec).prefetch
+        rows[spec.name] = {
+            "accuracy": report.accuracy,
+            "coverage": report.coverage,
+            "excess_traffic": report.excess_traffic,
+            "performance_gain": report.performance_gain,
+        }
+    return rows
+
+
+def figure9_tier_access(
+    local_fractions: Sequence[float] = (0.75, 0.50, 0.25),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> dict:
+    """Figure 9: remote access ratio per phase on the three capacity-ratio systems."""
+    profiler = Level2Profiler(seed=seed)
+    panels = {}
+    for fraction in local_fractions:
+        label = f"{int(round(fraction * 100))}-{int(round((1 - fraction) * 100))}"
+        rows = []
+        capacity_ratio = None
+        bandwidth_ratio = None
+        for spec in build_all(scale):
+            platform = Platform.pooled(spec.footprint_bytes, fraction)
+            profile = profiler.profile(spec, platform)
+            capacity_ratio = profile.remote_capacity_ratio
+            bandwidth_ratio = profile.remote_bandwidth_ratio
+            for phase in profile.phases:
+                rows.append(
+                    {
+                        "label": phase.label,
+                        "remote_access_ratio": phase.remote_access_ratio,
+                        "arithmetic_intensity": phase.arithmetic_intensity,
+                    }
+                )
+        panels[label] = {
+            "capacity_ratio": capacity_ratio,
+            "bandwidth_ratio": bandwidth_ratio,
+            "phases": rows,
+        }
+    return panels
+
+
+def figure10_sensitivity(
+    local_fractions: Sequence[float] = (0.75, 0.50, 0.25),
+    loi_levels: Sequence[float] = (0.0, 10.0, 20.0, 30.0, 40.0, 50.0),
+    scale: float = 1.0,
+    seed: int = 0,
+) -> dict:
+    """Figure 10: relative performance under interference on the three systems."""
+    profiler = Level3Profiler(seed=seed)
+    panels = {}
+    for fraction in local_fractions:
+        label = f"{int(round(fraction * 100))}-{int(round((1 - fraction) * 100))}"
+        rows = {}
+        for spec in build_all(scale):
+            platform = Platform.pooled(spec.footprint_bytes, fraction)
+            curve = profiler.sensitivity(spec, platform, loi_levels)
+            rows[spec.name] = {
+                "loi": list(curve.loi_levels),
+                "relative_performance": list(curve.relative_performance),
+                "max_loss": curve.max_performance_loss,
+            }
+        panels[label] = rows
+    return panels
+
+
+def figure11_lbench(
+    scale: float = 1.0,
+    seed: int = 0,
+    intensities: Sequence[float] = (10, 20, 30, 40, 50),
+    background_flops: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    local_fraction: float = 0.50,
+) -> dict:
+    """Figure 11: LBench validation and per-application interference coefficients.
+
+    Left panel: measured LoI versus configured intensity (1 and 2 threads).
+    Middle panel: interference coefficient and PCM traffic versus the
+    background kernel intensity.  Right panel: IC per application on the 50%
+    pooling setup.
+    """
+    lbench = LBench()
+    left = {
+        f"{threads}-threads": [
+            {"configured": intensity, "measured": m.loi}
+            for intensity, m in zip(intensities, lbench.intensity_sweep(intensities, threads))
+        ]
+        for threads in (1, 2)
+    }
+    middle = lbench.contention_curve(list(background_flops))
+    profiler = Level3Profiler(seed=seed)
+    reports = profiler.interference_coefficients(build_all(scale), local_fraction)
+    right = {
+        name: {
+            "interference_coefficient": report.interference_coefficient,
+            "phase_coefficients": dict(report.phase_interference_coefficients),
+        }
+        for name, report in reports.items()
+    }
+    return {"loi_scaling": left, "contention_curve": middle, "application_ic": right,
+            "loi_calibration": lbench.calibrate_loi(intensities)}
+
+
+def figure12_bfs_case_study(
+    scale: float = 1.0,
+    pool_fractions: Sequence[float] = (0.50, 0.75),
+    seed: int = 0,
+    with_sensitivity: bool = True,
+) -> dict:
+    """Figure 12: the BFS data-placement optimisation case study."""
+    study = BFSPlacementCaseStudy(scale=scale, seed=seed)
+    result = study.run(pool_fractions=pool_fractions, with_sensitivity=with_sensitivity)
+    summary = {
+        "rows": result.summary_rows(),
+        "speedups": {},
+        "remote_reduction": {},
+    }
+    for pooled in pool_fractions:
+        label = f"{int(round(pooled * 100))}%-pooled"
+        summary["speedups"][label] = {
+            "reordered": result.speedup(label, "reordered"),
+            "optimized": result.speedup(label, "optimized"),
+        }
+        summary["remote_reduction"][label] = {
+            "reordered": result.remote_access_reduction(label, "reordered"),
+            "optimized": result.remote_access_reduction(label, "optimized"),
+        }
+    return summary
+
+
+def figure13_scheduling(
+    scale: float = 1.0,
+    n_runs: int = 100,
+    local_fraction: float = 0.50,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+) -> dict:
+    """Figure 13: execution-time distributions, random vs interference-aware."""
+    study = SchedulingCaseStudy(local_fraction=local_fraction, n_runs=n_runs, seed=seed)
+    specs = None
+    if workloads is not None:
+        specs = [get_model(name).build(scale) for name in workloads]
+    else:
+        specs = build_all(scale)
+    result = study.run(specs)
+    return {
+        "per_workload": {r.workload: r.summary() for r in result.results},
+        "mean_speedups": result.speedups(),
+        "most_improved": result.most_improved(),
+    }

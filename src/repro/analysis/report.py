@@ -1,0 +1,185 @@
+"""Experiment report generation.
+
+:func:`measured_report` runs (a configurable subset of) the paper's
+experiments and renders the measured headline numbers as a Markdown document —
+the same quantities EXPERIMENTS.md tracks, regenerated from the current code
+so users can diff their own runs against the committed reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from . import figures, tables
+
+
+#: Experiment identifiers understood by :func:`measured_report`.
+ALL_EXPERIMENTS: tuple[str, ...] = (
+    "table1",
+    "table2",
+    "figure6",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+)
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One rendered section of the measured-results report."""
+
+    experiment: str
+    title: str
+    body: str
+
+    def as_markdown(self) -> str:
+        """The section as a Markdown fragment."""
+        return f"## {self.title}\n\n{self.body.strip()}\n"
+
+
+def _pct(value: float) -> str:
+    return f"{value:.1%}"
+
+
+def _section_table1() -> ReportSection:
+    rows = tables.table1_memory_cost()
+    lines = ["| system | DDR GB/node | HBM GB/node | nodes | est. DDR M$ | est. HBM M$ (mid) |",
+             "|---|---|---|---|---|---|"]
+    for row in rows:
+        lines.append(
+            f"| {row['system']} | {row['ddr_gb_per_node'] or '-'} | {row['hbm_gb_per_node'] or '-'} | "
+            f"{row['nodes']} | {row['est_ddr_cost_musd']:.1f} | {row['est_hbm_cost_musd_mid']:.1f} |"
+        )
+    return ReportSection("table1", "Table 1 — Top-10 memory configuration and cost", "\n".join(lines))
+
+
+def _section_table2() -> ReportSection:
+    rows = tables.table2_workloads()
+    lines = ["| application | inputs | footprints (GB) |", "|---|---|---|"]
+    for row in rows:
+        lines.append(
+            f"| {row['application']} | {row['input_problems']} | "
+            f"{', '.join(str(f) for f in row['footprints_gb'])} |"
+        )
+    return ReportSection("table2", "Table 2 — evaluated workloads", "\n".join(lines))
+
+
+def _section_figure6(seed: int) -> ReportSection:
+    panels = figures.figure6_scaling_curves(seed=seed)
+    lines = ["Skewness of the access distribution (0 = uniform, 1 = extreme):", ""]
+    for workload, curves in panels.items():
+        skews = ", ".join(f"{label}: {curve['skewness']:.2f}" for label, curve in curves.items())
+        lines.append(f"* **{workload}** — {skews}")
+    return ReportSection("figure6", "Figure 6 — bandwidth-capacity scaling curves", "\n".join(lines))
+
+
+def _section_figure8(seed: int) -> ReportSection:
+    rows = figures.figure8_prefetch_metrics(seed=seed)
+    lines = ["| workload | accuracy | coverage | excess traffic | performance gain |",
+             "|---|---|---|---|---|"]
+    for name, row in rows.items():
+        lines.append(
+            f"| {name} | {_pct(row['accuracy'])} | {_pct(row['coverage'])} | "
+            f"{_pct(row['excess_traffic'])} | {_pct(row['performance_gain'])} |"
+        )
+    return ReportSection("figure8", "Figure 8 — prefetching suitability", "\n".join(lines))
+
+
+def _section_figure9(seed: int) -> ReportSection:
+    panels = figures.figure9_tier_access(seed=seed)
+    lines = []
+    for label, panel in panels.items():
+        lines.append(
+            f"**{label}** (R_cap = {_pct(panel['capacity_ratio'])}, "
+            f"R_BW = {_pct(panel['bandwidth_ratio'])}): "
+            + ", ".join(
+                f"{row['label']} {_pct(row['remote_access_ratio'])}" for row in panel["phases"]
+            )
+        )
+        lines.append("")
+    return ReportSection("figure9", "Figure 9 — remote access ratios", "\n".join(lines))
+
+
+def _section_figure10(seed: int) -> ReportSection:
+    panels = figures.figure10_sensitivity(seed=seed)
+    lines = ["Maximum performance loss at LoI = 50:", ""]
+    for label, rows in panels.items():
+        lines.append(
+            f"* **{label}** — "
+            + ", ".join(f"{name}: {_pct(series['max_loss'])}" for name, series in rows.items())
+        )
+    return ReportSection("figure10", "Figure 10 — interference sensitivity", "\n".join(lines))
+
+
+def _section_figure11(seed: int) -> ReportSection:
+    data = figures.figure11_lbench(seed=seed)
+    ic = data["application_ic"]
+    middle = data["contention_curve"]
+    lines = [
+        "Interference coefficients (50% pooling): "
+        + ", ".join(
+            f"{name}: {row['interference_coefficient']:.2f}" for name, row in ic.items()
+        ),
+        "",
+        "LBench IC / PCM traffic vs background intensity: "
+        + ", ".join(
+            f"{int(p['flops_per_element'])} flops -> IC {p['interference_coefficient']:.2f}, "
+            f"{p['pcm_traffic'] / 1e9:.0f} GB/s"
+            for p in middle
+        ),
+    ]
+    return ReportSection("figure11", "Figure 11 — LBench validation and ICs", "\n".join(lines))
+
+
+def _section_figure12(seed: int) -> ReportSection:
+    data = figures.figure12_bfs_case_study(seed=seed, with_sensitivity=False)
+    lines = ["| variant | config | runtime (s) | remote access |", "|---|---|---|---|"]
+    for row in data["rows"]:
+        lines.append(
+            f"| {row['variant']} | {row['config']} | {row['runtime_s']:.1f} | "
+            f"{_pct(row['remote_access_ratio'])} |"
+        )
+    return ReportSection("figure12", "Figure 12 — BFS placement case study", "\n".join(lines))
+
+
+def _section_figure13(seed: int, n_runs: int) -> ReportSection:
+    data = figures.figure13_scheduling(seed=seed, n_runs=n_runs)
+    lines = ["| workload | mean speedup | p75 reduction |", "|---|---|---|"]
+    for name, summary in data["per_workload"].items():
+        lines.append(
+            f"| {name} | {_pct(summary['mean_speedup'])} | {_pct(summary['p75_reduction'])} |"
+        )
+    return ReportSection("figure13", "Figure 13 — interference-aware scheduling", "\n".join(lines))
+
+
+def measured_report(
+    experiments: Sequence[str] = ALL_EXPERIMENTS,
+    seed: int = 0,
+    scheduling_runs: int = 100,
+) -> str:
+    """Render the measured results of the selected experiments as Markdown."""
+    unknown = set(experiments) - set(ALL_EXPERIMENTS)
+    if unknown:
+        raise ValueError(f"unknown experiments: {sorted(unknown)}; known: {ALL_EXPERIMENTS}")
+    builders = {
+        "table1": lambda: _section_table1(),
+        "table2": lambda: _section_table2(),
+        "figure6": lambda: _section_figure6(seed),
+        "figure8": lambda: _section_figure8(seed),
+        "figure9": lambda: _section_figure9(seed),
+        "figure10": lambda: _section_figure10(seed),
+        "figure11": lambda: _section_figure11(seed),
+        "figure12": lambda: _section_figure12(seed),
+        "figure13": lambda: _section_figure13(seed, scheduling_runs),
+    }
+    sections = [builders[name]() for name in experiments]
+    header = (
+        "# Measured results\n\n"
+        "Regenerated by `repro.analysis.report.measured_report()`; compare against "
+        "EXPERIMENTS.md for the paper-reported values and the deviation notes.\n"
+    )
+    return header + "\n" + "\n".join(section.as_markdown() for section in sections)

@@ -1,0 +1,73 @@
+"""Table builders: regenerate the rows of the paper's tables."""
+
+from __future__ import annotations
+
+from ..data.top500 import top10_systems
+from ..models.cost import MemoryPriceModel
+from ..workloads.registry import all_models, table2_rows
+
+
+def table1_memory_cost(prices: MemoryPriceModel | None = None) -> list[dict]:
+    """Table 1: memory configuration and estimated cost of the Top-10 systems."""
+    prices = prices if prices is not None else MemoryPriceModel()
+    rows = []
+    for system in top10_systems():
+        hbm_low, hbm_high = (0.0, 0.0)
+        if system.hbm_gb_per_node:
+            hbm_low, hbm_high = prices.hbm_cost(system.hbm_gb_per_node, system.nodes)
+        rows.append(
+            {
+                "rank": system.rank,
+                "system": system.name,
+                "ddr_gb_per_node": system.ddr_gb_per_node,
+                "hbm_gb_per_node": system.hbm_gb_per_node,
+                "hbm_bandwidth_tbs_per_node": system.hbm_bandwidth_tbs_per_node,
+                "nodes": system.nodes,
+                "est_ddr_cost_musd": system.estimated_ddr_cost(prices) / 1e6,
+                "est_hbm_cost_musd_low": hbm_low / 1e6,
+                "est_hbm_cost_musd_high": hbm_high / 1e6,
+                "est_hbm_cost_musd_mid": system.estimated_hbm_cost(prices) / 1e6,
+                "multi_tier": system.has_multi_tier_memory,
+            }
+        )
+    return rows
+
+
+def table2_workloads() -> list[dict]:
+    """Table 2: the evaluated workloads, their inputs and memory footprints."""
+    rows = table2_rows()
+    # Extend the paper's columns with the modelled footprints (1:2:4 check).
+    for row, model in zip(rows, all_models()):
+        footprints = [model.build(scale).footprint_bytes for scale in model.input_scales]
+        row["footprints_gb"] = [round(f / 1e9, 2) for f in footprints]
+        row["footprint_ratio"] = [round(f / footprints[0], 2) for f in footprints]
+    return rows
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render rows as a plain-text table (used by the CLI and benchmarks)."""
+    if not rows:
+        return "(empty table)"
+    columns = columns if columns is not None else list(rows[0].keys())
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append([_fmt(row.get(col)) for col in columns])
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered_rows)) for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rendered_rows
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)

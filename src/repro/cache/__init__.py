@@ -1,0 +1,25 @@
+"""Cache hierarchy, hardware prefetcher model and performance events."""
+
+from . import events
+from .events import CounterSet
+from .hierarchy import CacheHierarchyModel, KernelCacheStats
+from .prefetcher import (
+    PrefetchOutcome,
+    StreamPrefetcher,
+    analyze_fraction,
+    analyze_stream,
+)
+from .setassoc import CacheAccessResult, SetAssociativeCache
+
+__all__ = [
+    "events",
+    "CounterSet",
+    "CacheHierarchyModel",
+    "KernelCacheStats",
+    "PrefetchOutcome",
+    "StreamPrefetcher",
+    "analyze_fraction",
+    "analyze_stream",
+    "CacheAccessResult",
+    "SetAssociativeCache",
+]

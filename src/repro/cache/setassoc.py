@@ -1,0 +1,146 @@
+"""Set-associative cache with LRU replacement.
+
+A faithful (if deliberately simple) cache model used for small access streams,
+unit tests and the detailed simulation mode.  The production execution engine
+normally uses the faster analytical hit-rate model in
+:mod:`repro.cache.hierarchy`; this class exists so that model has a ground
+truth to be validated against (and so users can run detailed experiments on
+reduced problem sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config.testbed import CacheLevelConfig
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of replaying an access stream through a cache."""
+
+    hits: np.ndarray
+    misses: np.ndarray
+
+    @property
+    def n_hits(self) -> int:
+        """Number of accesses that hit."""
+        return int(self.hits.sum())
+
+    @property
+    def n_misses(self) -> int:
+        """Number of accesses that missed."""
+        return int(self.misses.sum())
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate over the replayed stream."""
+        total = len(self.hits)
+        return self.n_hits / total if total else 0.0
+
+    @property
+    def miss_lines(self) -> int:
+        """Alias for :attr:`n_misses` (lines that had to be fetched)."""
+        return self.n_misses
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache over global cacheline indices.
+
+    The cache is indexed by cacheline index (byte address / line size), so the
+    address space granularity matches :class:`repro.trace.AccessBatch`.
+    """
+
+    def __init__(self, config: CacheLevelConfig) -> None:
+        self.config = config
+        self.n_sets = config.n_sets
+        self.associativity = config.associativity
+        # Tag store: per set, a list of line indices in LRU order
+        # (index 0 = least recently used, last = most recently used).
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        #: Lines inserted by the prefetcher that have not yet been demanded.
+        self._prefetched_unused: set[int] = set()
+        #: Count of prefetched lines evicted without ever being demanded.
+        self.useless_prefetches = 0
+        #: Total lines inserted (demand misses + prefetch fills).
+        self.lines_in = 0
+
+    # -- low-level operations ---------------------------------------------------
+
+    def _set_of(self, line: int) -> int:
+        return int(line) % self.n_sets
+
+    def lookup(self, line: int, update_lru: bool = True) -> bool:
+        """Check whether ``line`` is resident; optionally refresh its LRU position."""
+        line = int(line)
+        ways = self._sets[self._set_of(line)]
+        if line in ways:
+            if update_lru:
+                ways.remove(line)
+                ways.append(line)
+            return True
+        return False
+
+    def _evict_if_needed(self, ways: list[int]) -> None:
+        while len(ways) >= self.associativity:
+            victim = ways.pop(0)
+            if victim in self._prefetched_unused:
+                self._prefetched_unused.discard(victim)
+                self.useless_prefetches += 1
+
+    def insert(self, line: int, prefetched: bool = False) -> None:
+        """Insert ``line`` (fetching it from the next level)."""
+        line = int(line)
+        ways = self._sets[self._set_of(line)]
+        if line in ways:
+            # Already resident: a prefetch for a resident line is a no-op.
+            return
+        self._evict_if_needed(ways)
+        ways.append(line)
+        self.lines_in += 1
+        if prefetched:
+            self._prefetched_unused.add(line)
+
+    def access(self, line: int, is_write: bool = False) -> bool:
+        """Demand access to ``line``.  Returns True on hit, False on miss.
+
+        A miss inserts the line.  A hit on a previously prefetched line marks
+        that prefetch as useful.
+        """
+        line = int(line)
+        if self.lookup(line):
+            self._prefetched_unused.discard(line)
+            return True
+        self.insert(line, prefetched=False)
+        return False
+
+    # -- bulk interface -----------------------------------------------------------
+
+    def run(self, lines: np.ndarray, is_write: np.ndarray | None = None) -> CacheAccessResult:
+        """Replay an ordered access stream; returns per-access hit/miss flags."""
+        lines = np.asarray(lines, dtype=np.int64)
+        hits = np.zeros(len(lines), dtype=bool)
+        for i, line in enumerate(lines):
+            hits[i] = self.access(int(line))
+        return CacheAccessResult(hits=hits, misses=~hits)
+
+    def reset(self) -> None:
+        """Empty the cache and clear statistics."""
+        self._sets = [[] for _ in range(self.n_sets)]
+        self._prefetched_unused.clear()
+        self.useless_prefetches = 0
+        self.lines_in = 0
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(w) for w in self._sets)
+
+    @property
+    def pending_prefetches(self) -> int:
+        """Prefetched lines still resident and not yet demanded."""
+        return len(self._prefetched_unused)

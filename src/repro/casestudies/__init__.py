@@ -1,0 +1,31 @@
+"""The paper's two case studies: BFS data placement and interference-aware scheduling."""
+
+from .bfs_placement import (
+    BASELINE_ORDER,
+    BFSCaseStudyResult,
+    BFSPlacementCaseStudy,
+    OPTIMIZED_ORDER,
+    PlacementVariantResult,
+    baseline_spec,
+    optimized_spec,
+    reordered_spec,
+)
+from .scheduling import (
+    SchedulingCaseStudy,
+    SchedulingCaseStudyResult,
+    WorkloadSchedulingResult,
+)
+
+__all__ = [
+    "BASELINE_ORDER",
+    "BFSCaseStudyResult",
+    "BFSPlacementCaseStudy",
+    "OPTIMIZED_ORDER",
+    "PlacementVariantResult",
+    "baseline_spec",
+    "optimized_spec",
+    "reordered_spec",
+    "SchedulingCaseStudy",
+    "SchedulingCaseStudyResult",
+    "WorkloadSchedulingResult",
+]

@@ -1,0 +1,150 @@
+"""Case study 2: interference-aware job scheduling (Section 7.2, Figure 13).
+
+Each evaluated workload runs 100 times at 50% memory-pool capacity against a
+background interference whose Level of Interference is redrawn every 60 s —
+uniformly from 0-50% for the random baseline and from 0-20% for the
+interference-aware scheduler (which refuses to co-locate interference-heavy
+jobs with sensitive ones).  The paper reports mean speedups of roughly
+4% (Hypre), 2% (NekRS, SuperLU), 1% (BFS, HPL) and 0% (XSBench), and a
+reduction of the 75th-percentile execution time of 1-5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..profiler.level3 import Level3Profiler, SensitivityCurve
+from ..scheduler.job import JobProfile
+from ..scheduler.simulator import CoLocationResult, CoLocationStudy
+from ..sim.platform import Platform
+from ..workloads.base import WorkloadSpec
+from ..workloads.registry import build_all
+
+
+@dataclass(frozen=True)
+class WorkloadSchedulingResult:
+    """Baseline vs interference-aware execution-time distributions for one workload."""
+
+    workload: str
+    baseline: CoLocationResult
+    aware: CoLocationResult
+
+    @property
+    def mean_speedup(self) -> float:
+        """Relative reduction of the mean execution time."""
+        if self.aware.mean <= 0:
+            return 0.0
+        return self.baseline.mean / self.aware.mean - 1.0
+
+    @property
+    def p75_reduction(self) -> float:
+        """Relative reduction of the 75th-percentile execution time."""
+        p75 = self.baseline.percentile(75)
+        if p75 <= 0:
+            return 0.0
+        return 1.0 - self.aware.percentile(75) / p75
+
+    @property
+    def variability_reduction(self) -> float:
+        """Relative reduction of the interquartile range."""
+        if self.baseline.variability <= 0:
+            return 0.0
+        return 1.0 - self.aware.variability / self.baseline.variability
+
+    def summary(self) -> dict:
+        """Row used by the Figure-13 benchmark and EXPERIMENTS.md."""
+        return {
+            "workload": self.workload,
+            "baseline": self.baseline.five_number_summary(),
+            "interference_aware": self.aware.five_number_summary(),
+            "mean_speedup": self.mean_speedup,
+            "p75_reduction": self.p75_reduction,
+        }
+
+
+@dataclass(frozen=True)
+class SchedulingCaseStudyResult:
+    """Results for all evaluated workloads."""
+
+    results: tuple[WorkloadSchedulingResult, ...]
+
+    def result(self, workload: str) -> WorkloadSchedulingResult:
+        """Look one workload's result up by name."""
+        for r in self.results:
+            if r.workload == workload:
+                return r
+        raise KeyError(f"no scheduling result for {workload!r}")
+
+    def speedups(self) -> dict[str, float]:
+        """Mean speedup per workload."""
+        return {r.workload: r.mean_speedup for r in self.results}
+
+    def most_improved(self) -> str:
+        """The workload benefitting most from interference awareness."""
+        return max(self.results, key=lambda r: r.mean_speedup).workload
+
+
+class SchedulingCaseStudy:
+    """Runs the interference-aware scheduling comparison for a set of workloads."""
+
+    def __init__(
+        self,
+        local_fraction: float = 0.50,
+        n_runs: int = 100,
+        interval: float = 60.0,
+        seed: int = 0,
+    ) -> None:
+        self.local_fraction = local_fraction
+        self.n_runs = n_runs
+        self.interval = interval
+        self.seed = seed
+
+    def sensitivity_of(self, spec: WorkloadSpec) -> SensitivityCurve:
+        """Measure one workload's sensitivity curve on the pooled platform."""
+        platform = Platform.pooled(spec.footprint_bytes, self.local_fraction)
+        return Level3Profiler(seed=self.seed).sensitivity(spec, platform)
+
+    def job_profile_of(self, spec: WorkloadSpec) -> JobProfile:
+        """Build the submission-time job profile the scheduler would receive."""
+        sensitivity = self.sensitivity_of(spec)
+        remote_fraction = 1.0 - self.local_fraction
+        return JobProfile(
+            workload=spec.name,
+            baseline_runtime=sensitivity.baseline_runtime,
+            sensitivity=sensitivity,
+            pool_gb=spec.footprint_bytes * remote_fraction / 1e9,
+        )
+
+    def study_workload(
+        self,
+        spec: WorkloadSpec,
+        baseline_range: tuple[float, float] = (0.0, 50.0),
+        aware_range: tuple[float, float] = (0.0, 20.0),
+    ) -> WorkloadSchedulingResult:
+        """Run the 100-repetition comparison for one workload."""
+        sensitivity = self.sensitivity_of(spec)
+        study = CoLocationStudy(
+            baseline_runtime=sensitivity.baseline_runtime,
+            sensitivity=sensitivity,
+            interval=self.interval,
+        )
+        outcomes = study.compare_policies(
+            n_runs=self.n_runs,
+            baseline_range=baseline_range,
+            aware_range=aware_range,
+            seed=self.seed,
+        )
+        return WorkloadSchedulingResult(
+            workload=spec.name,
+            baseline=outcomes["baseline"],
+            aware=outcomes["interference-aware"],
+        )
+
+    def run(self, specs: Optional[Sequence[WorkloadSpec]] = None) -> SchedulingCaseStudyResult:
+        """Run the case study for all (or the given) workloads."""
+        specs = list(specs) if specs is not None else build_all(1.0)
+        results = tuple(self.study_workload(spec) for spec in specs)
+        return SchedulingCaseStudyResult(results=results)

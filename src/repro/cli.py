@@ -1,0 +1,239 @@
+"""Command-line interface: ``repro-dmem``.
+
+Sub-commands map directly onto the paper's experiments::
+
+    repro-dmem table 1                 # Table 1 (memory cost of Top-10 systems)
+    repro-dmem table 2                 # Table 2 (evaluated workloads)
+    repro-dmem profile XSBench         # three-level profile of one workload
+    repro-dmem figure 8                # regenerate one figure's data
+    repro-dmem bfs-case-study          # Section 7.1
+    repro-dmem scheduling --runs 20    # Section 7.2 (reduced run count)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+import numpy as np
+
+from . import analysis
+from .analysis.tables import format_table
+from .casestudies.bfs_placement import BFSPlacementCaseStudy
+from .casestudies.scheduling import SchedulingCaseStudy
+from .profiler.profiler import MultiLevelProfiler
+from .workloads.registry import build_workload, workload_names
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Convert NumPy containers to plain Python for JSON output."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    return value
+
+
+def _emit(data: Any, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(_to_jsonable(data), indent=2))
+    else:
+        print(_pretty(data))
+
+
+def _pretty(data: Any, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(data, dict):
+        lines = []
+        for key, value in data.items():
+            if isinstance(value, (dict, list)) and value and not _is_scalar_list(value):
+                lines.append(f"{pad}{key}:")
+                lines.append(_pretty(value, indent + 1))
+            else:
+                lines.append(f"{pad}{key}: {_scalar(value)}")
+        return "\n".join(lines)
+    if isinstance(data, list):
+        return "\n".join(f"{pad}- {_scalar(item) if not isinstance(item, dict) else ''}"
+                         + ("\n" + _pretty(item, indent + 1) if isinstance(item, dict) else "")
+                         for item in data)
+    return f"{pad}{_scalar(data)}"
+
+
+def _is_scalar_list(value: Any) -> bool:
+    return isinstance(value, (list, tuple)) and all(
+        not isinstance(v, (dict, list, tuple, np.ndarray)) for v in value
+    )
+
+
+def _scalar(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, np.ndarray):
+        return np.array2string(value, precision=3, threshold=8)
+    return str(value)
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        rows = analysis.table1_memory_cost()
+    elif args.number == 2:
+        rows = analysis.table2_workloads()
+    else:
+        print(f"unknown table {args.number}; the paper has tables 1 and 2", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit(rows, True)
+    else:
+        print(format_table(rows))
+    return 0
+
+
+FIGURE_BUILDERS = {
+    1: lambda args: analysis.figure1_memory_evolution(),
+    5: lambda args: analysis.figure5_roofline(seed=args.seed),
+    6: lambda args: analysis.figure6_scaling_curves(seed=args.seed),
+    7: lambda args: analysis.figure7_prefetch_timeline(seed=args.seed),
+    8: lambda args: analysis.figure8_prefetch_metrics(seed=args.seed),
+    9: lambda args: analysis.figure9_tier_access(seed=args.seed),
+    10: lambda args: analysis.figure10_sensitivity(seed=args.seed),
+    11: lambda args: analysis.figure11_lbench(seed=args.seed),
+    12: lambda args: analysis.figure12_bfs_case_study(seed=args.seed),
+    13: lambda args: analysis.figure13_scheduling(seed=args.seed, n_runs=args.runs),
+}
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    builder = FIGURE_BUILDERS.get(args.number)
+    if builder is None:
+        print(
+            f"unknown figure {args.number}; available: {sorted(FIGURE_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    _emit(builder(args), args.json)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    spec = build_workload(args.workload, args.scale)
+    profiler = MultiLevelProfiler(seed=args.seed)
+    level1 = profiler.level1(spec)
+    output: dict[str, Any] = {
+        "workload": spec.name,
+        "input": spec.input_label,
+        "footprint_gb": spec.footprint_bytes / 1e9,
+        "level1": {
+            "phases": [
+                {
+                    "phase": p.phase,
+                    "arithmetic_intensity": p.arithmetic_intensity,
+                    "gflops": p.achieved_gflops,
+                    "bandwidth_gbs": p.achieved_bandwidth_gbs,
+                    "runtime_s": p.runtime,
+                }
+                for p in level1.phases
+            ],
+            "prefetch": {
+                "accuracy": level1.prefetch.accuracy,
+                "coverage": level1.prefetch.coverage,
+                "excess_traffic": level1.prefetch.excess_traffic,
+                "performance_gain": level1.prefetch.performance_gain,
+            },
+        },
+    }
+    if args.levels >= 2:
+        level2 = profiler.level2(spec, local_fraction=args.local_fraction)
+        output["level2"] = {
+            "config": level2.config_label,
+            "remote_capacity_ratio": level2.remote_capacity_ratio,
+            "remote_bandwidth_ratio": level2.remote_bandwidth_ratio,
+            "phases": [
+                {
+                    "phase": p.phase,
+                    "remote_access_ratio": p.remote_access_ratio,
+                    "headroom": p.optimization_headroom,
+                }
+                for p in level2.phases
+            ],
+        }
+    if args.levels >= 3:
+        level3 = profiler.level3(spec, local_fraction=args.local_fraction)
+        output["level3"] = {
+            "interference_coefficient": level3.interference_coefficient,
+            "sensitivity": {
+                "loi": list(level3.sensitivity.loi_levels),
+                "relative_performance": list(level3.sensitivity.relative_performance),
+            },
+        }
+    _emit(output, args.json)
+    return 0
+
+
+def cmd_bfs_case_study(args: argparse.Namespace) -> int:
+    result = BFSPlacementCaseStudy(scale=args.scale, seed=args.seed).run(
+        with_sensitivity=not args.no_sensitivity
+    )
+    _emit({"rows": result.summary_rows()}, args.json)
+    return 0
+
+
+def cmd_scheduling(args: argparse.Namespace) -> int:
+    study = SchedulingCaseStudy(n_runs=args.runs, seed=args.seed)
+    result = study.run()
+    _emit({r.workload: r.summary() for r in result.results}, args.json)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dmem",
+        description="Reproduction toolkit for 'A Quantitative Approach for Adopting "
+        "Disaggregated Memory in HPC Systems' (SC 2023).",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="regenerate a table")
+    p_table.add_argument("number", type=int, choices=(1, 2))
+    p_table.set_defaults(func=cmd_table)
+
+    p_fig = sub.add_parser("figure", help="regenerate a figure's data")
+    p_fig.add_argument("number", type=int)
+    p_fig.add_argument("--runs", type=int, default=100, help="runs for figure 13")
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_prof = sub.add_parser("profile", help="three-level profile of one workload")
+    p_prof.add_argument("workload", choices=list(workload_names()) + ["XS"])
+    p_prof.add_argument("--scale", type=float, default=1.0)
+    p_prof.add_argument("--levels", type=int, default=3, choices=(1, 2, 3))
+    p_prof.add_argument("--local-fraction", type=float, default=0.5)
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_bfs = sub.add_parser("bfs-case-study", help="Section 7.1 case study")
+    p_bfs.add_argument("--scale", type=float, default=1.0)
+    p_bfs.add_argument("--no-sensitivity", action="store_true")
+    p_bfs.set_defaults(func=cmd_bfs_case_study)
+
+    p_sched = sub.add_parser("scheduling", help="Section 7.2 case study")
+    p_sched.add_argument("--runs", type=int, default=100)
+    p_sched.set_defaults(func=cmd_scheduling)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Configuration objects: platform (testbed), memory tiers, units and errors."""
+
+from .errors import (
+    AllocationError,
+    ConfigurationError,
+    ExperimentError,
+    PlacementError,
+    ProfilerError,
+    ReproError,
+    SchedulingError,
+    WorkloadError,
+)
+from .testbed import (
+    CacheLevelConfig,
+    PrefetcherConfig,
+    SKYLAKE_EMULATION,
+    TestbedConfig,
+    small_testbed,
+)
+from .tiers import (
+    LOCAL_TIER,
+    PAPER_CAPACITY_FRACTIONS,
+    REMOTE_TIER,
+    TierSpec,
+    TieredMemoryConfig,
+    capacity_ratio_config,
+    paper_tier_configs,
+    single_tier_config,
+    two_tier_config,
+)
+from . import units
+
+__all__ = [
+    "AllocationError",
+    "ConfigurationError",
+    "ExperimentError",
+    "PlacementError",
+    "ProfilerError",
+    "ReproError",
+    "SchedulingError",
+    "WorkloadError",
+    "CacheLevelConfig",
+    "PrefetcherConfig",
+    "SKYLAKE_EMULATION",
+    "TestbedConfig",
+    "small_testbed",
+    "LOCAL_TIER",
+    "REMOTE_TIER",
+    "PAPER_CAPACITY_FRACTIONS",
+    "TierSpec",
+    "TieredMemoryConfig",
+    "capacity_ratio_config",
+    "paper_tier_configs",
+    "single_tier_config",
+    "two_tier_config",
+    "units",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class AllocationError(ReproError):
+    """The tiered memory cannot satisfy an allocation request (OOM)."""
+
+
+class PlacementError(ReproError):
+    """A page placement or migration request is invalid."""
+
+
+class ProfilerError(ReproError):
+    """The profiler was used in an invalid state (e.g. stop without start)."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification or scale factor is invalid."""
+
+
+class SchedulingError(ReproError):
+    """The cluster/scheduler model was asked to do something impossible."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,280 @@
+"""Tiered-memory system configurations.
+
+The paper evaluates three two-tier configurations where the node-local tier
+provides 75%, 50% or 25% of the capacity an application needs and the memory
+pool provides the rest (Figures 9 and 10 label them by the local-remote
+capacity split).  :class:`TieredMemoryConfig` describes such a system:
+an ordered list of tiers from fastest (top, node-local) to slowest (bottom,
+memory pool), each with a capacity, bandwidth and latency.
+
+The capacity of the local tier is usually set *relative to an application's
+peak memory footprint* — the paper's `setup_waste` tool occupies local memory
+until only 25/50/75% of the application's peak usage fits locally.  The
+:func:`capacity_ratio_config` helper builds exactly that situation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .errors import ConfigurationError
+from .testbed import TestbedConfig, SKYLAKE_EMULATION
+from .units import GiB
+
+
+#: Conventional tier identifiers used across the package.
+LOCAL_TIER = 0
+REMOTE_TIER = 1
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """A single memory tier.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (``"local-ddr"``, ``"cxl-pool"``...).
+    capacity_bytes:
+        Usable capacity of the tier in bytes.
+    bandwidth:
+        Peak sustainable bandwidth from the compute node to this tier, bytes/s.
+    latency:
+        Idle load-to-use latency, seconds.
+    pooled:
+        True if the tier is a shared memory pool (and therefore subject to
+        inter-node interference), false for node-local memory.
+    """
+
+    name: str
+    capacity_bytes: int
+    bandwidth: float
+    latency: float
+    pooled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise ConfigurationError(f"tier {self.name}: capacity must be >= 0")
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"tier {self.name}: bandwidth must be positive")
+        if self.latency <= 0:
+            raise ConfigurationError(f"tier {self.name}: latency must be positive")
+
+
+@dataclass(frozen=True)
+class TieredMemoryConfig:
+    """An ordered multi-tier memory system (fastest tier first).
+
+    The two reference points the paper uses for optimisation guidance
+    (Section 5.1) are exposed as properties:
+
+    * :attr:`capacity_ratios` — R_cap per tier, the fraction of total capacity,
+    * :attr:`bandwidth_ratios` — R_BW per tier, the fraction of aggregate
+      bandwidth.
+    """
+
+    tiers: tuple[TierSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ConfigurationError("a tiered memory system needs at least one tier")
+        total = sum(t.capacity_bytes for t in self.tiers)
+        if total <= 0:
+            raise ConfigurationError("total memory capacity must be positive")
+        bandwidths = [t.bandwidth for t in self.tiers]
+        if any(b2 > b1 for b1, b2 in zip(bandwidths, bandwidths[1:])):
+            raise ConfigurationError(
+                "tiers must be ordered from fastest (highest bandwidth) to slowest"
+            )
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of tiers."""
+        return len(self.tiers)
+
+    @property
+    def total_capacity(self) -> int:
+        """Total capacity across all tiers, bytes."""
+        return sum(t.capacity_bytes for t in self.tiers)
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Sum of tier bandwidths, bytes/s."""
+        return sum(t.bandwidth for t in self.tiers)
+
+    @property
+    def local(self) -> TierSpec:
+        """The top (node-local) tier."""
+        return self.tiers[LOCAL_TIER]
+
+    @property
+    def remote(self) -> TierSpec:
+        """The bottom tier (memory pool in the paper's configurations)."""
+        return self.tiers[-1]
+
+    def tier(self, index: int) -> TierSpec:
+        """Return tier ``index`` (0 is the fastest)."""
+        return self.tiers[index]
+
+    # -- the paper's two reference points ------------------------------------
+
+    @property
+    def capacity_ratios(self) -> tuple[float, ...]:
+        """R_cap per tier: tier capacity / total capacity."""
+        total = self.total_capacity
+        return tuple(t.capacity_bytes / total for t in self.tiers)
+
+    @property
+    def bandwidth_ratios(self) -> tuple[float, ...]:
+        """R_BW per tier: tier bandwidth / aggregate bandwidth."""
+        agg = self.aggregate_bandwidth
+        return tuple(t.bandwidth / agg for t in self.tiers)
+
+    @property
+    def remote_capacity_ratio(self) -> float:
+        """R_cap of the bottom tier — the 'remote capacity ratio' of Level 2.
+
+        Zero for a single-tier (local-only) system, which has no remote tier.
+        """
+        if self.n_tiers < 2:
+            return 0.0
+        return self.capacity_ratios[-1]
+
+    @property
+    def remote_bandwidth_ratio(self) -> float:
+        """R_BW of the bottom tier — the turning point of the memory bottleneck.
+
+        Zero for a single-tier (local-only) system.
+        """
+        if self.n_tiers < 2:
+            return 0.0
+        return self.bandwidth_ratios[-1]
+
+    def describe(self) -> dict:
+        """Summary dictionary in paper-friendly units."""
+        return {
+            "tiers": [
+                {
+                    "name": t.name,
+                    "capacity_gib": t.capacity_bytes / GiB,
+                    "bandwidth_gbs": t.bandwidth / 1e9,
+                    "latency_ns": t.latency / 1e-9,
+                    "pooled": t.pooled,
+                }
+                for t in self.tiers
+            ],
+            "remote_capacity_ratio": self.remote_capacity_ratio,
+            "remote_bandwidth_ratio": self.remote_bandwidth_ratio,
+        }
+
+
+def two_tier_config(
+    local_capacity: int,
+    remote_capacity: int,
+    testbed: TestbedConfig = SKYLAKE_EMULATION,
+) -> TieredMemoryConfig:
+    """Build a two-tier system from explicit capacities on ``testbed``.
+
+    The top tier takes the testbed's local bandwidth/latency, the bottom tier
+    takes the remote (UPI / pool) characteristics and is marked as pooled.
+    """
+    return TieredMemoryConfig(
+        tiers=(
+            TierSpec(
+                name="local-dram",
+                capacity_bytes=int(local_capacity),
+                bandwidth=testbed.local_bandwidth,
+                latency=testbed.local_latency,
+                pooled=False,
+            ),
+            TierSpec(
+                name="memory-pool",
+                capacity_bytes=int(remote_capacity),
+                bandwidth=testbed.remote_bandwidth,
+                latency=testbed.remote_latency,
+                pooled=True,
+            ),
+        )
+    )
+
+
+def capacity_ratio_config(
+    footprint_bytes: int,
+    local_fraction: float,
+    testbed: TestbedConfig = SKYLAKE_EMULATION,
+    headroom: float = 1.05,
+) -> TieredMemoryConfig:
+    """Two-tier system sized so a fraction of the footprint fits locally.
+
+    Mirrors the paper's `setup_waste` methodology: given an application's peak
+    memory footprint, restrict the local tier to ``local_fraction`` of it and
+    give the memory pool enough capacity for the remainder (times
+    ``headroom`` to avoid spurious OOM from page rounding).
+
+    Parameters
+    ----------
+    footprint_bytes:
+        The application's peak resident memory, bytes.
+    local_fraction:
+        Fraction of the footprint that fits in node-local memory, in (0, 1].
+        The paper evaluates 0.75, 0.50 and 0.25.
+    testbed:
+        Platform whose bandwidth/latency figures describe the tiers.
+    headroom:
+        Multiplier (>= 1) applied to the remote capacity so spills never OOM.
+    """
+    if footprint_bytes <= 0:
+        raise ConfigurationError("footprint must be positive")
+    if not 0.0 < local_fraction <= 1.0:
+        raise ConfigurationError("local_fraction must be in (0, 1]")
+    if headroom < 1.0:
+        raise ConfigurationError("headroom must be >= 1.0")
+    local = int(round(footprint_bytes * local_fraction))
+    # The pool gets the remainder plus headroom and a page-rounding slack, so
+    # per-object page rounding never produces a spurious out-of-memory.
+    slack = 256 * testbed.page_bytes
+    remote = int(round(footprint_bytes * (1.0 - local_fraction) * headroom)) + slack
+    # Keep a small remote tier even for local_fraction == 1.0 so the tier
+    # structure (and the profiler's level-2 metrics) stay well defined.
+    remote = max(remote, testbed.page_bytes)
+    local = max(local, testbed.page_bytes)
+    return two_tier_config(local, remote, testbed)
+
+
+#: Local-capacity fractions evaluated throughout the paper (Figures 9 and 10).
+PAPER_CAPACITY_FRACTIONS: tuple[float, ...] = (0.75, 0.50, 0.25)
+
+
+def paper_tier_configs(
+    footprint_bytes: int, testbed: TestbedConfig = SKYLAKE_EMULATION
+) -> dict[str, TieredMemoryConfig]:
+    """The three capacity-ratio configurations the paper evaluates.
+
+    Returns a mapping from a label like ``"75-25"`` (local-remote percentage
+    split) to the corresponding :class:`TieredMemoryConfig`.
+    """
+    configs = {}
+    for local_fraction in PAPER_CAPACITY_FRACTIONS:
+        label = f"{int(round(local_fraction * 100))}-{int(round((1 - local_fraction) * 100))}"
+        configs[label] = capacity_ratio_config(footprint_bytes, local_fraction, testbed)
+    return configs
+
+
+def single_tier_config(
+    capacity: int, testbed: TestbedConfig = SKYLAKE_EMULATION
+) -> TieredMemoryConfig:
+    """A single-tier (node-local only) system, used for Level 1 profiling."""
+    return TieredMemoryConfig(
+        tiers=(
+            TierSpec(
+                name="local-dram",
+                capacity_bytes=int(capacity),
+                bandwidth=testbed.local_bandwidth,
+                latency=testbed.local_latency,
+                pooled=False,
+            ),
+        )
+    )

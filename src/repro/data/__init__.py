@@ -1,0 +1,23 @@
+"""Reference data: supercomputer memory configurations (Figure 1, Table 1)."""
+
+from .top500 import (
+    MEMORY_EVOLUTION,
+    MemoryEvolutionPoint,
+    SystemMemoryConfig,
+    TOP10_NOV2022,
+    memory_evolution,
+    multi_tier_share,
+    system,
+    top10_systems,
+)
+
+__all__ = [
+    "MEMORY_EVOLUTION",
+    "MemoryEvolutionPoint",
+    "SystemMemoryConfig",
+    "TOP10_NOV2022",
+    "memory_evolution",
+    "multi_tier_share",
+    "system",
+    "top10_systems",
+]

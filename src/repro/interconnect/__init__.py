@@ -1,0 +1,25 @@
+"""Remote link model, queueing-based contention and traffic recording."""
+
+from .link import LinkShare, RemoteLink
+from .queueing import (
+    LinearQueueingModel,
+    MD1QueueingModel,
+    MM1QueueingModel,
+    QUEUEING_MODELS,
+    QueueingModel,
+    make_queueing_model,
+)
+from .traffic import TrafficRecorder, TrafficSample
+
+__all__ = [
+    "LinkShare",
+    "RemoteLink",
+    "LinearQueueingModel",
+    "MD1QueueingModel",
+    "MM1QueueingModel",
+    "QUEUEING_MODELS",
+    "QueueingModel",
+    "make_queueing_model",
+    "TrafficRecorder",
+    "TrafficSample",
+]

@@ -1,0 +1,144 @@
+"""Link traffic recording (the simulator's Intel PCM).
+
+The paper's Level-3 profiling measures injected traffic at the system level
+with the UPI counters (``sktXtraffic`` in Intel PCM).  The
+:class:`TrafficRecorder` plays that role for the simulator: execution phases
+report their remote-tier traffic and duration, and the recorder exposes the
+timeline and aggregate statistics a PCM session would produce — including the
+saturation behaviour that motivates LBench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..cache.events import CounterSet
+from ..cache import events
+from .link import RemoteLink
+
+
+@dataclass(frozen=True)
+class TrafficSample:
+    """Traffic observed during one recorded interval."""
+
+    start_time: float
+    duration: float
+    #: Data bytes the application moved over the link during the interval.
+    data_bytes: float
+    #: Background (interference) data bytes during the interval.
+    background_bytes: float
+    #: Traffic the PCM counter reports for the interval, bytes (saturating).
+    measured_traffic_bytes: float
+    #: Link utilisation over the interval (can exceed 1 when oversubscribed).
+    utilization: float
+
+    @property
+    def offered_bandwidth(self) -> float:
+        """Total offered data bandwidth over the interval, bytes/s."""
+        if self.duration <= 0:
+            return 0.0
+        return (self.data_bytes + self.background_bytes) / self.duration
+
+    @property
+    def measured_bandwidth(self) -> float:
+        """PCM-reported traffic rate over the interval, bytes/s."""
+        if self.duration <= 0:
+            return 0.0
+        return self.measured_traffic_bytes / self.duration
+
+
+class TrafficRecorder:
+    """Records link traffic intervals and produces PCM-style aggregates."""
+
+    def __init__(self, link: RemoteLink) -> None:
+        self.link = link
+        self._samples: list[TrafficSample] = []
+        self._clock = 0.0
+
+    def record(
+        self,
+        duration: float,
+        data_bytes: float,
+        background_bytes: float = 0.0,
+    ) -> TrafficSample:
+        """Record one interval of link activity.
+
+        ``data_bytes`` is the application's remote data traffic and
+        ``background_bytes`` the interference traffic sharing the link during
+        the interval.  Returns the recorded sample.
+        """
+        duration = max(float(duration), 0.0)
+        data_bytes = max(float(data_bytes), 0.0)
+        background_bytes = max(float(background_bytes), 0.0)
+        if duration > 0:
+            offered_bw = (data_bytes + background_bytes) / duration
+            measured_bw = self.link.measured_traffic(offered_bw)
+            utilization = self.link.utilization(offered_bw)
+        else:
+            measured_bw = 0.0
+            utilization = 0.0
+        sample = TrafficSample(
+            start_time=self._clock,
+            duration=duration,
+            data_bytes=data_bytes,
+            background_bytes=background_bytes,
+            measured_traffic_bytes=measured_bw * duration,
+            utilization=utilization,
+        )
+        self._samples.append(sample)
+        self._clock += duration
+        return sample
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def samples(self) -> tuple[TrafficSample, ...]:
+        """All recorded intervals in time order."""
+        return tuple(self._samples)
+
+    @property
+    def elapsed(self) -> float:
+        """Total recorded time, seconds."""
+        return self._clock
+
+    def total_measured_traffic(self) -> float:
+        """Total PCM-reported traffic over the whole recording, bytes."""
+        return float(sum(s.measured_traffic_bytes for s in self._samples))
+
+    def total_data_bytes(self) -> float:
+        """Total application data moved over the link, bytes."""
+        return float(sum(s.data_bytes for s in self._samples))
+
+    def average_utilization(self) -> float:
+        """Time-weighted average link utilisation."""
+        if self._clock <= 0:
+            return 0.0
+        weighted = sum(s.utilization * s.duration for s in self._samples)
+        return float(weighted / self._clock)
+
+    def peak_measured_bandwidth(self) -> float:
+        """Highest PCM-reported traffic rate over any interval, bytes/s."""
+        if not self._samples:
+            return 0.0
+        return max(s.measured_bandwidth for s in self._samples)
+
+    def timeline(self) -> tuple[np.ndarray, np.ndarray]:
+        """(interval start times, measured bandwidth) arrays."""
+        times = np.array([s.start_time for s in self._samples], dtype=np.float64)
+        bandwidth = np.array([s.measured_bandwidth for s in self._samples], dtype=np.float64)
+        return times, bandwidth
+
+    def counters(self) -> CounterSet:
+        """The Level-3 counter view of the recording."""
+        counters = CounterSet()
+        counters.set(events.UPI_TRAFFIC_BYTES, self.total_measured_traffic())
+        counters.set(events.UPI_UTILIZATION, self.average_utilization())
+        return counters
+
+    def clear(self) -> None:
+        """Drop all recorded samples and reset the clock."""
+        self._samples.clear()
+        self._clock = 0.0

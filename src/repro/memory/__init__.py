@@ -1,0 +1,29 @@
+"""Virtual address space, memory objects and tiered physical placement."""
+
+from .numa_maps import NumaMapsEntry, NumaMapsSampler, NumaMapsSnapshot
+from .objects import (
+    AddressSpace,
+    MemoryObject,
+    PLACEMENT_FIRST_TOUCH,
+    PLACEMENT_INTERLEAVE,
+    PLACEMENT_LOCAL,
+    PLACEMENT_POLICIES,
+    PLACEMENT_REMOTE,
+)
+from .tiered import TieredMemory, TierUsage, UNPLACED
+
+__all__ = [
+    "AddressSpace",
+    "MemoryObject",
+    "PLACEMENT_FIRST_TOUCH",
+    "PLACEMENT_INTERLEAVE",
+    "PLACEMENT_LOCAL",
+    "PLACEMENT_POLICIES",
+    "PLACEMENT_REMOTE",
+    "TieredMemory",
+    "TierUsage",
+    "UNPLACED",
+    "NumaMapsEntry",
+    "NumaMapsSampler",
+    "NumaMapsSnapshot",
+]

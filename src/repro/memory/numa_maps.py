@@ -1,0 +1,153 @@
+"""Simulated ``/proc/<pid>/numa_maps`` sampling.
+
+The paper's profiler measures memory capacity usage per NUMA node by sampling
+the ``numa_maps`` file in procfs (Level 1 and Level 2 profiling).  This module
+provides the equivalent for the simulator: point-in-time snapshots of how many
+pages of each memory object live in each tier, recorded over the course of a
+run so capacity timelines and peak RSS can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .objects import AddressSpace, MemoryObject
+from .tiered import TieredMemory, UNPLACED
+
+
+@dataclass(frozen=True)
+class NumaMapsEntry:
+    """Placement of one memory object at snapshot time.
+
+    Mirrors one line of ``numa_maps``: the mapping (object), its size, and the
+    number of pages on each node (tier).
+    """
+
+    object_name: str
+    object_id: int
+    size_bytes: int
+    pages_per_tier: tuple[int, ...]
+    placement_policy: str
+
+    @property
+    def resident_pages(self) -> int:
+        """Total pages currently resident (touched) across all tiers."""
+        return int(sum(self.pages_per_tier))
+
+    def tier_fraction(self, tier: int) -> float:
+        """Fraction of the object's resident pages living in ``tier``."""
+        resident = self.resident_pages
+        if resident == 0:
+            return 0.0
+        return self.pages_per_tier[tier] / resident
+
+
+@dataclass(frozen=True)
+class NumaMapsSnapshot:
+    """A full ``numa_maps`` snapshot: one entry per memory object."""
+
+    timestamp: float
+    entries: tuple[NumaMapsEntry, ...]
+    page_bytes: int
+
+    @property
+    def rss_bytes(self) -> int:
+        """Total resident set size across all objects and tiers."""
+        return sum(e.resident_pages for e in self.entries) * self.page_bytes
+
+    def tier_bytes(self, tier: int) -> int:
+        """Resident bytes in one tier."""
+        return sum(e.pages_per_tier[tier] for e in self.entries) * self.page_bytes
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of tiers covered by the snapshot."""
+        if not self.entries:
+            return 0
+        return len(self.entries[0].pages_per_tier)
+
+    def remote_capacity_ratio(self) -> float:
+        """Fraction of resident bytes in the bottom tier (Level-2 R_cap measure)."""
+        if not self.entries:
+            return 0.0
+        total = self.rss_bytes
+        if total <= 0:
+            return 0.0
+        return self.tier_bytes(self.n_tiers - 1) / total
+
+    def entry_for(self, name: str) -> NumaMapsEntry:
+        """Look up the entry of one object by name."""
+        for entry in self.entries:
+            if entry.object_name == name:
+                return entry
+        raise KeyError(f"no numa_maps entry for object {name!r}")
+
+
+class NumaMapsSampler:
+    """Collects :class:`NumaMapsSnapshot` objects over the course of a run.
+
+    The profiler calls :meth:`sample` at phase boundaries (and optionally at a
+    fixed simulated-time interval), producing the capacity timeline behind the
+    paper's ``NMO_TRACK_RSS`` mode.
+    """
+
+    def __init__(self, memory: TieredMemory) -> None:
+        self.memory = memory
+        self._snapshots: list[NumaMapsSnapshot] = []
+
+    def sample(self, timestamp: float) -> NumaMapsSnapshot:
+        """Take a snapshot at simulated time ``timestamp`` (seconds)."""
+        space = self.memory.address_space
+        n_tiers = len(self.memory.usage)
+        entries = []
+        for obj in space.objects:
+            placement = self.memory.placement_of(obj)
+            per_tier = tuple(
+                int((placement == tier).sum()) for tier in range(n_tiers)
+            )
+            entries.append(
+                NumaMapsEntry(
+                    object_name=obj.name,
+                    object_id=obj.object_id,
+                    size_bytes=obj.size_bytes,
+                    pages_per_tier=per_tier,
+                    placement_policy=obj.placement,
+                )
+            )
+        snapshot = NumaMapsSnapshot(
+            timestamp=float(timestamp),
+            entries=tuple(entries),
+            page_bytes=space.page_bytes,
+        )
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    @property
+    def snapshots(self) -> tuple[NumaMapsSnapshot, ...]:
+        """All snapshots collected so far, in time order."""
+        return tuple(self._snapshots)
+
+    def peak_rss_bytes(self) -> int:
+        """Peak resident set size observed across snapshots."""
+        if not self._snapshots:
+            return 0
+        return max(s.rss_bytes for s in self._snapshots)
+
+    def rss_timeline(self) -> tuple[np.ndarray, np.ndarray]:
+        """(timestamps, rss_bytes) arrays for plotting capacity over time."""
+        times = np.array([s.timestamp for s in self._snapshots], dtype=np.float64)
+        rss = np.array([s.rss_bytes for s in self._snapshots], dtype=np.float64)
+        return times, rss
+
+    def tier_timeline(self, tier: int) -> tuple[np.ndarray, np.ndarray]:
+        """(timestamps, resident_bytes) for one tier."""
+        times = np.array([s.timestamp for s in self._snapshots], dtype=np.float64)
+        used = np.array([s.tier_bytes(tier) for s in self._snapshots], dtype=np.float64)
+        return times, used
+
+    def clear(self) -> None:
+        """Drop all collected snapshots."""
+        self._snapshots.clear()

@@ -1,0 +1,200 @@
+"""Data objects and the simulated virtual address space.
+
+Workloads declare the arrays and structures they allocate as
+:class:`MemoryObject` instances.  The :class:`AddressSpace` lays objects out in
+a flat page-granular virtual address space in **allocation order**, which is
+what makes the paper's first-touch placement experiments (and the BFS
+allocation-reordering case study in Section 7.1) expressible: whichever object
+is touched first claims the remaining node-local pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from ..config.errors import AllocationError
+from ..config.units import PAGE_BYTES, pages_for
+from ..trace.patterns import AccessPattern, SequentialPattern
+
+
+#: Placement policies supported by the allocator, mirroring libnuma options.
+PLACEMENT_FIRST_TOUCH = "first-touch"
+PLACEMENT_LOCAL = "local"
+PLACEMENT_REMOTE = "remote"
+PLACEMENT_INTERLEAVE = "interleave"
+
+PLACEMENT_POLICIES = (
+    PLACEMENT_FIRST_TOUCH,
+    PLACEMENT_LOCAL,
+    PLACEMENT_REMOTE,
+    PLACEMENT_INTERLEAVE,
+)
+
+
+@dataclass
+class MemoryObject:
+    """A named allocation made by a workload.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports and by the case studies ("Parents",
+        "adjacency", "A-panel"...).
+    size_bytes:
+        Allocation size in bytes.
+    pattern:
+        Access pattern used when the object is touched by kernels; also
+        determines how traffic is spread over its pages.
+    placement:
+        One of :data:`PLACEMENT_POLICIES`.  ``first-touch`` follows the OS
+        default; ``local``/``remote`` emulate explicit libnuma placement;
+        ``interleave`` spreads pages round-robin over the tiers.
+    allocation_site:
+        Free-form tag of the source location, used by the profiler to
+        attribute remote traffic to allocation sites.
+    lifetime:
+        ``"program"`` for objects that live until exit, or the name of the
+        phase after which the object is freed (used by the BFS case study to
+        free an initialisation-only buffer).
+    object_id, first_page, n_pages:
+        Filled in by the :class:`AddressSpace` when the object is registered.
+    """
+
+    name: str
+    size_bytes: int
+    pattern: AccessPattern = field(default_factory=SequentialPattern)
+    placement: str = PLACEMENT_FIRST_TOUCH
+    allocation_site: str = ""
+    lifetime: str = "program"
+    object_id: int = -1
+    first_page: int = -1
+    n_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise AllocationError(f"object {self.name!r}: size must be positive")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise AllocationError(
+                f"object {self.name!r}: unknown placement {self.placement!r}"
+            )
+
+    @property
+    def registered(self) -> bool:
+        """Whether the object has been laid out in an address space."""
+        return self.object_id >= 0 and self.first_page >= 0
+
+    @property
+    def last_page(self) -> int:
+        """Index of the last page backing the object (inclusive)."""
+        if not self.registered:
+            raise AllocationError(f"object {self.name!r} is not registered")
+        return self.first_page + self.n_pages - 1
+
+    def page_range(self) -> np.ndarray:
+        """All page indices backing the object."""
+        if not self.registered:
+            raise AllocationError(f"object {self.name!r} is not registered")
+        return np.arange(self.first_page, self.first_page + self.n_pages, dtype=np.int64)
+
+    def line_range(self, lines_per_page: int) -> tuple[int, int]:
+        """Half-open range of global cacheline indices backing the object."""
+        if not self.registered:
+            raise AllocationError(f"object {self.name!r} is not registered")
+        start = self.first_page * lines_per_page
+        return start, start + self.n_pages * lines_per_page
+
+    def n_lines(self, lines_per_page: int) -> int:
+        """Number of cachelines backing the object."""
+        return self.n_pages * lines_per_page
+
+
+class AddressSpace:
+    """Flat, page-granular virtual address space shared by a workload's objects.
+
+    Objects are assigned consecutive page ranges in the order they are
+    registered.  The address space does not decide physical placement — that is
+    the :class:`~repro.memory.tiered.TieredMemory`'s job — it only provides a
+    stable mapping from objects to page and cacheline indices.
+    """
+
+    def __init__(self, page_bytes: int = PAGE_BYTES, line_bytes: int = 64) -> None:
+        if page_bytes <= 0 or line_bytes <= 0:
+            raise AllocationError("page and line sizes must be positive")
+        if page_bytes % line_bytes:
+            raise AllocationError("page size must be a multiple of the line size")
+        self.page_bytes = int(page_bytes)
+        self.line_bytes = int(line_bytes)
+        self.lines_per_page = self.page_bytes // self.line_bytes
+        self._objects: list[MemoryObject] = []
+        self._next_page = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, obj: MemoryObject) -> MemoryObject:
+        """Assign the next free page range to ``obj`` and record it."""
+        if obj.registered:
+            raise AllocationError(f"object {obj.name!r} is already registered")
+        n_pages = pages_for(obj.size_bytes, self.page_bytes)
+        obj.object_id = len(self._objects)
+        obj.first_page = self._next_page
+        obj.n_pages = n_pages
+        self._next_page += n_pages
+        self._objects.append(obj)
+        return obj
+
+    def register_all(self, objects: Iterable[MemoryObject]) -> list[MemoryObject]:
+        """Register several objects in order."""
+        return [self.register(obj) for obj in objects]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[MemoryObject]:
+        return iter(self._objects)
+
+    @property
+    def objects(self) -> tuple[MemoryObject, ...]:
+        """All registered objects in allocation order."""
+        return tuple(self._objects)
+
+    @property
+    def total_pages(self) -> int:
+        """Total number of pages allocated so far."""
+        return self._next_page
+
+    @property
+    def total_bytes(self) -> int:
+        """Total footprint of all registered objects, bytes."""
+        return sum(o.size_bytes for o in self._objects)
+
+    def get(self, name: str) -> MemoryObject:
+        """Look an object up by name."""
+        for obj in self._objects:
+            if obj.name == name:
+                return obj
+        raise KeyError(f"no object named {name!r}")
+
+    def by_id(self, object_id: int) -> MemoryObject:
+        """Look an object up by its numeric id."""
+        if not 0 <= object_id < len(self._objects):
+            raise KeyError(f"no object with id {object_id}")
+        return self._objects[object_id]
+
+    def object_of_page(self, page: int) -> Optional[MemoryObject]:
+        """The object backing ``page``, or None for unmapped pages."""
+        for obj in self._objects:
+            if obj.first_page <= page < obj.first_page + obj.n_pages:
+                return obj
+        return None
+
+    def page_object_ids(self) -> np.ndarray:
+        """Array mapping every allocated page to its owning object id."""
+        ids = np.full(self._next_page, -1, dtype=np.int64)
+        for obj in self._objects:
+            ids[obj.first_page : obj.first_page + obj.n_pages] = obj.object_id
+        return ids

@@ -1,0 +1,153 @@
+"""Capacity/bandwidth-driven deployment planning (Section 4.1's decision flow).
+
+A user deploying an HPC application estimates the job's total memory footprint
+and peak per-node usage, compares them with the per-node capacity to find the
+minimum node count, and may then add nodes for aggregate bandwidth if the code
+is memory-bound — trading off communication and core-hour cost.  With a memory
+pool in the picture there is a second option: keep fewer nodes and lean on the
+pool for capacity, accepting remote accesses.  These helpers quantify both
+paths so the examples and benchmarks can reproduce that decision flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from ..config.errors import ConfigurationError
+from ..models.memory_roofline import MemoryRoofline
+from ..trace.footprint import ScalingCurve
+
+
+@dataclass(frozen=True)
+class NodeResources:
+    """Per-node resources relevant to the planning decision."""
+
+    memory_gb: float
+    memory_bandwidth_gbs: float
+    pool_gb_available: float = 0.0
+    pool_bandwidth_gbs: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0 or self.memory_bandwidth_gbs <= 0:
+            raise ConfigurationError("node capacity and bandwidth must be positive")
+        if self.pool_gb_available < 0 or self.pool_bandwidth_gbs < 0:
+            raise ConfigurationError("pool resources must be non-negative")
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """One way to place a job on the machine."""
+
+    nodes: int
+    uses_pool: bool
+    pool_gb_per_node: float
+    expected_remote_access_ratio: float
+    aggregate_bandwidth_gbs: float
+
+    @property
+    def description(self) -> str:
+        """One-line description for reports."""
+        if self.uses_pool:
+            return (
+                f"{self.nodes} nodes + {self.pool_gb_per_node:.0f} GB/node from the pool "
+                f"(expected remote access {self.expected_remote_access_ratio:.0%})"
+            )
+        return f"{self.nodes} nodes, node-local memory only"
+
+
+def minimum_nodes_for_capacity(total_footprint_gb: float, node: NodeResources) -> int:
+    """Minimum node count so the footprint fits in node-local memory alone."""
+    if total_footprint_gb <= 0:
+        raise ConfigurationError("footprint must be positive")
+    return max(int(ceil(total_footprint_gb / node.memory_gb)), 1)
+
+
+def nodes_for_bandwidth(
+    total_traffic_gb: float, target_runtime_s: float, node: NodeResources
+) -> int:
+    """Node count needed to stream ``total_traffic_gb`` within a target runtime."""
+    if target_runtime_s <= 0:
+        raise ConfigurationError("target runtime must be positive")
+    required_bw = total_traffic_gb / target_runtime_s
+    return max(int(ceil(required_bw / node.memory_bandwidth_gbs)), 1)
+
+
+def plan_local_only(total_footprint_gb: float, node: NodeResources) -> DeploymentPlan:
+    """The classic plan: add nodes until the job fits locally."""
+    nodes = minimum_nodes_for_capacity(total_footprint_gb, node)
+    return DeploymentPlan(
+        nodes=nodes,
+        uses_pool=False,
+        pool_gb_per_node=0.0,
+        expected_remote_access_ratio=0.0,
+        aggregate_bandwidth_gbs=nodes * node.memory_bandwidth_gbs,
+    )
+
+
+def plan_with_pool(
+    total_footprint_gb: float,
+    node: NodeResources,
+    nodes: int,
+    scaling_curve: ScalingCurve | None = None,
+) -> DeploymentPlan:
+    """A pooled plan: run on ``nodes`` nodes and take the overflow from the pool.
+
+    The expected remote access ratio is read from the application's
+    bandwidth-capacity scaling curve when available (the fraction of accesses
+    *not* captured by the locally-resident share of the footprint); otherwise
+    it falls back to the capacity overflow fraction, which is exact for
+    uniform access distributions.
+    """
+    if nodes <= 0:
+        raise ConfigurationError("node count must be positive")
+    per_node_footprint = total_footprint_gb / nodes
+    overflow = max(per_node_footprint - node.memory_gb, 0.0)
+    if overflow > node.pool_gb_available:
+        raise ConfigurationError(
+            f"the pool cannot supply {overflow:.0f} GB/node "
+            f"(only {node.pool_gb_available:.0f} GB/node available)"
+        )
+    local_fraction = min(node.memory_gb / per_node_footprint, 1.0) if per_node_footprint > 0 else 1.0
+    if scaling_curve is not None:
+        remote_ratio = 1.0 - scaling_curve.access_share_at(local_fraction)
+    else:
+        remote_ratio = 1.0 - local_fraction
+    return DeploymentPlan(
+        nodes=nodes,
+        uses_pool=overflow > 0,
+        pool_gb_per_node=overflow,
+        expected_remote_access_ratio=max(remote_ratio, 0.0),
+        aggregate_bandwidth_gbs=nodes
+        * (node.memory_bandwidth_gbs + (node.pool_bandwidth_gbs if overflow > 0 else 0.0)),
+    )
+
+
+def compare_plans(
+    total_footprint_gb: float,
+    node: NodeResources,
+    scaling_curve: ScalingCurve | None = None,
+    max_pool_nodes: int | None = None,
+) -> dict:
+    """Compare local-only and pooled deployment for one job.
+
+    Returns both plans plus the memory-roofline estimate of the pooled plan's
+    bandwidth headroom, which is what the paper suggests users weigh against
+    the extra communication cost of more nodes.
+    """
+    local_plan = plan_local_only(total_footprint_gb, node)
+    pooled_nodes = max_pool_nodes if max_pool_nodes is not None else max(local_plan.nodes // 2, 1)
+    pooled_plan = plan_with_pool(total_footprint_gb, node, pooled_nodes, scaling_curve)
+    roofline = MemoryRoofline(
+        local_bandwidth=node.memory_bandwidth_gbs * 1e9,
+        remote_bandwidth=max(node.pool_bandwidth_gbs, 1e-9) * 1e9,
+    )
+    return {
+        "local_only": local_plan,
+        "pooled": pooled_plan,
+        "pooled_bandwidth_limit_gbs": roofline.attainable_bandwidth(
+            pooled_plan.expected_remote_access_ratio
+        )
+        / 1e9,
+        "node_saving": local_plan.nodes - pooled_plan.nodes,
+    }

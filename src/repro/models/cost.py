@@ -1,0 +1,135 @@
+"""Memory cost modelling (Table 1 and the TCO argument of Section 2).
+
+The paper estimates the memory cost of the Top-10 supercomputers assuming an
+HBM unit price of 3-5x that of DDR, and argues that disaggregation lets a
+system be provisioned for the *peak of sums* instead of the *sum of peaks* of
+its jobs' memory demands, reducing total cost of ownership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryPriceModel:
+    """Unit prices used for the cost estimates.
+
+    The paper quotes its estimates with DDR around $4/GB and HBM at 3-5x the
+    DDR unit price; the defaults reproduce the mid-range of Table 1.
+    """
+
+    ddr_per_gb: float = 4.0
+    hbm_multiplier_low: float = 3.0
+    hbm_multiplier_high: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.ddr_per_gb <= 0:
+            raise ConfigurationError("DDR unit price must be positive")
+        if not 1.0 <= self.hbm_multiplier_low <= self.hbm_multiplier_high:
+            raise ConfigurationError("HBM multipliers must satisfy 1 <= low <= high")
+
+    @property
+    def hbm_per_gb_mid(self) -> float:
+        """Mid-range HBM unit price, $/GB."""
+        return self.ddr_per_gb * (self.hbm_multiplier_low + self.hbm_multiplier_high) / 2.0
+
+    def ddr_cost(self, gb_per_node: float, nodes: int) -> float:
+        """System-wide DDR cost in dollars."""
+        return gb_per_node * nodes * self.ddr_per_gb
+
+    def hbm_cost(self, gb_per_node: float, nodes: int) -> tuple[float, float]:
+        """(low, high) system-wide HBM cost estimates in dollars."""
+        base = gb_per_node * nodes * self.ddr_per_gb
+        return base * self.hbm_multiplier_low, base * self.hbm_multiplier_high
+
+    def hbm_cost_mid(self, gb_per_node: float, nodes: int) -> float:
+        """Mid-range system-wide HBM cost in dollars."""
+        low, high = self.hbm_cost(gb_per_node, nodes)
+        return (low + high) / 2.0
+
+
+@dataclass(frozen=True)
+class ProvisioningScenario:
+    """Compare per-node (sum of peaks) and pooled (peak of sums) provisioning.
+
+    ``job_peaks_gb`` holds the peak memory demand of the jobs running
+    concurrently on one rack (one entry per node).  Per-node provisioning must
+    size *every* node for the largest demand it might ever run; pooling only
+    needs the node-local baseline plus enough pool capacity for the sum at the
+    observed peak (Section 2: "peak-of-sums provisioning rather than
+    sum-of-peaks").
+    """
+
+    job_peaks_gb: tuple[float, ...]
+    node_local_gb: float
+
+    def __post_init__(self) -> None:
+        if not self.job_peaks_gb:
+            raise ConfigurationError("scenario needs at least one job")
+        if any(p < 0 for p in self.job_peaks_gb):
+            raise ConfigurationError("job peaks must be non-negative")
+        if self.node_local_gb < 0:
+            raise ConfigurationError("node-local capacity must be non-negative")
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the rack."""
+        return len(self.job_peaks_gb)
+
+    def sum_of_peaks_gb(self) -> float:
+        """Total memory if every node is provisioned for the worst job."""
+        return max(self.job_peaks_gb) * self.n_nodes
+
+    def peak_of_sums_gb(self) -> float:
+        """Total memory if the rack is provisioned for the jobs' combined demand."""
+        pooled_demand = sum(max(p - self.node_local_gb, 0.0) for p in self.job_peaks_gb)
+        return self.node_local_gb * self.n_nodes + pooled_demand
+
+    def savings_gb(self) -> float:
+        """Capacity saved by pooling."""
+        return max(self.sum_of_peaks_gb() - self.peak_of_sums_gb(), 0.0)
+
+    def savings_fraction(self) -> float:
+        """Relative capacity saving of pooled provisioning."""
+        total = self.sum_of_peaks_gb()
+        if total <= 0:
+            return 0.0
+        return self.savings_gb() / total
+
+    def cost_savings(self, prices: MemoryPriceModel = MemoryPriceModel()) -> float:
+        """Dollar savings of pooled provisioning (DDR pricing)."""
+        return self.savings_gb() * prices.ddr_per_gb
+
+
+def utilization_based_scenario(
+    n_nodes: int,
+    node_capacity_gb: float,
+    utilization_samples: Sequence[float],
+    node_local_fraction: float = 0.5,
+) -> ProvisioningScenario:
+    """Build a provisioning scenario from observed per-job memory utilisations.
+
+    ``utilization_samples`` are the fractions of node memory the jobs actually
+    use (the paper cites studies where fewer than 15% of jobs use more than
+    75% of node memory).  The scenario keeps ``node_local_fraction`` of the
+    node capacity local and lets the rest come from the pool.
+    """
+    if n_nodes <= 0 or node_capacity_gb <= 0:
+        raise ConfigurationError("need a positive number of nodes and capacity")
+    samples = np.asarray(list(utilization_samples), dtype=np.float64)
+    if len(samples) == 0:
+        raise ConfigurationError("need at least one utilisation sample")
+    if np.any((samples < 0) | (samples > 1)):
+        raise ConfigurationError("utilisation samples must be in [0, 1]")
+    rng_idx = np.resize(np.arange(len(samples)), n_nodes)
+    peaks = tuple(float(samples[i]) * node_capacity_gb for i in rng_idx)
+    return ProvisioningScenario(
+        job_peaks_gb=peaks,
+        node_local_gb=node_capacity_gb * node_local_fraction,
+    )

@@ -1,0 +1,124 @@
+"""Analytical interference-sensitivity model.
+
+Section 6.1 of the paper summarises its empirical finding as: *"An
+application's sensitivity to memory interference on memory pooling is caused
+by its remote memory access and is inversely influenced by its arithmetic
+intensity."*  This module provides a closed-form model of that statement,
+fitted from (or usable without) simulator measurements.  It is used by the
+scheduler to predict slowdowns cheaply, and by the ablation benchmarks to
+compare the analytical prediction with the full simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..config.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SensitivityModel:
+    """Predicted slowdown as a function of LoI, remote access ratio and AI.
+
+    The model form is::
+
+        slowdown(LoI) = 1 + k · remote_ratio · f(AI) · (LoI / 100)
+
+    where ``f(AI) = 1 / (1 + AI / ai_scale)`` captures the inverse influence
+    of arithmetic intensity (compute-bound phases absorb interference), and
+    ``k`` is the platform-dependent sensitivity constant.
+    """
+
+    k: float = 0.55
+    ai_scale: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.k < 0 or self.ai_scale <= 0:
+            raise ConfigurationError("sensitivity constants must be positive")
+
+    def ai_factor(self, arithmetic_intensity: float) -> float:
+        """The inverse arithmetic-intensity factor in (0, 1]."""
+        ai = max(float(arithmetic_intensity), 0.0)
+        return 1.0 / (1.0 + ai / self.ai_scale)
+
+    def slowdown(
+        self, loi: float, remote_access_ratio: float, arithmetic_intensity: float
+    ) -> float:
+        """Predicted slowdown (>= 1) at the given Level of Interference."""
+        loi = max(float(loi), 0.0)
+        ratio = float(np.clip(remote_access_ratio, 0.0, 1.0))
+        return 1.0 + self.k * ratio * self.ai_factor(arithmetic_intensity) * (loi / 100.0)
+
+    def relative_performance(
+        self, loi: float, remote_access_ratio: float, arithmetic_intensity: float
+    ) -> float:
+        """Predicted relative performance (<= 1), the paper's Figure-10 y-axis."""
+        return 1.0 / self.slowdown(loi, remote_access_ratio, arithmetic_intensity)
+
+    # -- fitting -------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        observations: Sequence[Mapping[str, float]],
+        ai_scale: float = 2.0,
+    ) -> "SensitivityModel":
+        """Fit the sensitivity constant ``k`` from measured slowdowns.
+
+        Each observation needs the keys ``loi``, ``remote_access_ratio``,
+        ``arithmetic_intensity`` and ``slowdown``.  The fit is a closed-form
+        least squares on ``k`` (the model is linear in it).
+        """
+        numerator = 0.0
+        denominator = 0.0
+        reference = cls(k=1.0, ai_scale=ai_scale)
+        for obs in observations:
+            x = (
+                float(np.clip(obs["remote_access_ratio"], 0.0, 1.0))
+                * reference.ai_factor(obs["arithmetic_intensity"])
+                * (max(obs["loi"], 0.0) / 100.0)
+            )
+            y = max(float(obs["slowdown"]) - 1.0, 0.0)
+            numerator += x * y
+            denominator += x * x
+        if denominator <= 0:
+            raise ConfigurationError("cannot fit sensitivity model: no informative observations")
+        return cls(k=numerator / denominator, ai_scale=ai_scale)
+
+    def residuals(self, observations: Sequence[Mapping[str, float]]) -> np.ndarray:
+        """Prediction errors (predicted - observed slowdown) for a set of observations."""
+        errors = []
+        for obs in observations:
+            predicted = self.slowdown(
+                obs["loi"], obs["remote_access_ratio"], obs["arithmetic_intensity"]
+            )
+            errors.append(predicted - float(obs["slowdown"]))
+        return np.asarray(errors, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class InducedInterferenceModel:
+    """Predicted interference coefficient from an application's pool traffic.
+
+    The IC grows with the share of the link the application occupies::
+
+        IC = 1 + c · (remote_bandwidth / link_capacity)
+
+    matching the paper's observation that the IC is "solely related to the
+    remote memory access but not directly influenced by arithmetic intensity"
+    (Section 6.2).
+    """
+
+    c: float = 1.6
+
+    def interference_coefficient(
+        self, remote_bandwidth: float, link_capacity: float
+    ) -> float:
+        """Predicted IC for an application pushing ``remote_bandwidth`` onto the pool."""
+        if link_capacity <= 0:
+            raise ConfigurationError("link capacity must be positive")
+        occupancy = float(np.clip(remote_bandwidth / link_capacity, 0.0, 1.0))
+        return 1.0 + self.c * occupancy

@@ -1,0 +1,132 @@
+"""Extended memory roofline for multi-tier systems (local-to-remote ratio).
+
+Section 5 of the paper builds on the memory roofline model of Ding et al.
+(their reference [8]): the attainable *memory* performance of a phase depends
+on how its traffic splits between the fast local tier and the slower remote
+tier.  Tuning towards higher local-to-remote (L:R) ratios raises the limit
+towards the fast tier's bandwidth; using both tiers concurrently can exceed
+the fast tier alone — which is why the paper recommends access ratios that
+*match the bandwidth ratio* of the tiers rather than pushing everything local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config.tiers import TieredMemoryConfig
+
+
+@dataclass(frozen=True)
+class MemoryRoofline:
+    """Attainable memory bandwidth as a function of the remote access ratio.
+
+    The model assumes the two tiers transfer concurrently: with a remote
+    access ratio r, moving B bytes takes ``max((1-r)·B / BW_local,
+    r·B / BW_remote)`` seconds, so the attainable aggregate bandwidth is::
+
+        BW(r) = 1 / max((1-r)/BW_local, r/BW_remote)
+
+    The maximum sits exactly at the bandwidth ratio R_BW = BW_remote /
+    (BW_local + BW_remote) — the paper's upper reference point — where both
+    tiers finish at the same time and the application enjoys their sum.
+    """
+
+    local_bandwidth: float
+    remote_bandwidth: float
+
+    @classmethod
+    def from_config(cls, config: TieredMemoryConfig) -> "MemoryRoofline":
+        """Build the model from a two-tier configuration."""
+        return cls(
+            local_bandwidth=config.local.bandwidth,
+            remote_bandwidth=config.remote.bandwidth,
+        )
+
+    @property
+    def optimal_remote_ratio(self) -> float:
+        """The remote access ratio that maximises aggregate bandwidth (= R_BW)."""
+        return self.remote_bandwidth / (self.local_bandwidth + self.remote_bandwidth)
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Aggregate bandwidth at the optimal ratio, bytes/s."""
+        return self.local_bandwidth + self.remote_bandwidth
+
+    def attainable_bandwidth(self, remote_ratio: float) -> float:
+        """Attainable memory bandwidth (bytes/s) at a given remote access ratio."""
+        r = float(np.clip(remote_ratio, 0.0, 1.0))
+        local_time = (1.0 - r) / self.local_bandwidth
+        remote_time = r / self.remote_bandwidth
+        limit = max(local_time, remote_time)
+        if limit <= 0:
+            return self.peak_bandwidth
+        return 1.0 / limit
+
+    def attainable_time(self, total_bytes: float, remote_ratio: float) -> float:
+        """Time to move ``total_bytes`` at a given remote ratio, seconds."""
+        bw = self.attainable_bandwidth(remote_ratio)
+        return total_bytes / bw if bw > 0 else float("inf")
+
+    def curve(self, n_points: int = 101) -> tuple[np.ndarray, np.ndarray]:
+        """(remote ratio, attainable bandwidth GB/s) series for plotting."""
+        ratios = np.linspace(0.0, 1.0, n_points)
+        bandwidth = np.array([self.attainable_bandwidth(r) for r in ratios]) / 1e9
+        return ratios, bandwidth
+
+    def speedup_over_local_only(self, remote_ratio: float) -> float:
+        """Memory-bandwidth speedup versus keeping all traffic local."""
+        return self.attainable_bandwidth(remote_ratio) / self.local_bandwidth
+
+    def classify(self, remote_ratio: float, capacity_ratio: float) -> str:
+        """The paper's optimisation guidance for a measured access ratio.
+
+        Returns one of:
+
+        * ``"fast-tier-bound"`` — below the bandwidth ratio: the fast tier
+          limits memory performance (headroom on the pool is unused),
+        * ``"balanced"`` — between the capacity ratio and the bandwidth ratio
+          (within tolerance): little to gain from data-placement tuning,
+        * ``"slow-tier-bound"`` — above the bandwidth ratio: too many accesses
+          go to the pool and it throttles the application; data placement (or
+          tier sizing) should be revisited.
+        """
+        r = float(remote_ratio)
+        r_bw = self.optimal_remote_ratio
+        low = min(capacity_ratio, r_bw)
+        high = max(capacity_ratio, r_bw)
+        if r > high + 1e-9:
+            return "slow-tier-bound"
+        if r < low - 1e-9:
+            return "fast-tier-bound"
+        return "balanced"
+
+
+def optimization_priority(
+    phase_ratios: Sequence[tuple[str, float, float]],
+    roofline: MemoryRoofline,
+) -> list[dict]:
+    """Rank phases by how far their access ratio sits from the reference band.
+
+    ``phase_ratios`` is a sequence of (label, remote access ratio, duration
+    weight).  The paper's guidance: the *dominant* phase with the largest
+    mismatch should be optimised first (Section 5.2).
+    """
+    ranked = []
+    r_bw = roofline.optimal_remote_ratio
+    for label, ratio, weight in phase_ratios:
+        mismatch = max(ratio - r_bw, 0.0)
+        ranked.append(
+            {
+                "phase": label,
+                "remote_access_ratio": ratio,
+                "bandwidth_ratio": r_bw,
+                "mismatch": mismatch,
+                "duration_weight": weight,
+                "priority": mismatch * weight,
+            }
+        )
+    ranked.sort(key=lambda item: item["priority"], reverse=True)
+    return ranked

@@ -1,0 +1,142 @@
+"""Roofline model (Williams et al.) for the emulated platform.
+
+Section 3.4 of the paper uses the standard roofline model to place each
+application phase by its arithmetic intensity and achieved throughput
+(Figure 5), and extends the bandwidth slope when an additional memory tier is
+added to the system (the dashed line in the figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One measured (phase) point on the roofline plot."""
+
+    label: str
+    arithmetic_intensity: float
+    gflops: float
+
+    @property
+    def memory_bound(self) -> bool:
+        """Whether the point's attainable limit is the bandwidth slope.
+
+        Evaluated against the default platform's machine balance; use
+        :meth:`RooflineModel.is_memory_bound` for other platforms.
+        """
+        return self.arithmetic_intensity < SKYLAKE_EMULATION.machine_balance
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """Attainable performance P = min(F, B · I).
+
+    Attributes
+    ----------
+    peak_flops:
+        Peak compute rate F, flop/s.
+    memory_bandwidth:
+        Peak memory bandwidth B of the baseline (single-tier) system, bytes/s.
+    extra_tier_bandwidth:
+        Additional bandwidth contributed by an extra memory tier, bytes/s —
+        the dashed extension of Figure 5 (0 for the plain model).
+    """
+
+    peak_flops: float
+    memory_bandwidth: float
+    extra_tier_bandwidth: float = 0.0
+
+    @classmethod
+    def from_testbed(cls, testbed: TestbedConfig = SKYLAKE_EMULATION, include_remote_tier: bool = False) -> "RooflineModel":
+        """Build the roofline of the emulation platform.
+
+        With ``include_remote_tier`` the remote tier's bandwidth is added to
+        the slope, reproducing the dashed line of Figure 5.
+        """
+        return cls(
+            peak_flops=testbed.peak_flops,
+            memory_bandwidth=testbed.local_bandwidth,
+            extra_tier_bandwidth=testbed.remote_bandwidth if include_remote_tier else 0.0,
+        )
+
+    @property
+    def total_bandwidth(self) -> float:
+        """Bandwidth of the (possibly extended) memory system, bytes/s."""
+        return self.memory_bandwidth + self.extra_tier_bandwidth
+
+    @property
+    def ridge_point(self) -> float:
+        """Machine balance: the arithmetic intensity where the roofs meet (flop/byte)."""
+        return self.peak_flops / self.total_bandwidth
+
+    def attainable(self, arithmetic_intensity: float) -> float:
+        """Attainable performance (flop/s) at an arithmetic intensity."""
+        ai = max(float(arithmetic_intensity), 0.0)
+        return min(self.peak_flops, self.total_bandwidth * ai)
+
+    def attainable_gflops(self, arithmetic_intensity: float) -> float:
+        """Attainable performance in Gflop/s."""
+        return self.attainable(arithmetic_intensity) / 1e9
+
+    def is_memory_bound(self, arithmetic_intensity: float) -> bool:
+        """Whether a phase at this intensity is limited by memory bandwidth."""
+        return arithmetic_intensity < self.ridge_point
+
+    def efficiency(self, point: RooflinePoint) -> float:
+        """Achieved fraction of the attainable performance for a measured point."""
+        attainable = self.attainable_gflops(point.arithmetic_intensity)
+        if attainable <= 0:
+            return 0.0
+        return min(point.gflops / attainable, 1.0)
+
+    def curve(
+        self, intensities: Sequence[float] | None = None, n_points: int = 64
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(intensity, attainable Gflop/s) series for plotting the roof.
+
+        Intensities default to a log-spaced sweep covering Figure 5's x-axis
+        (0.01 to 1024 flop/byte).
+        """
+        if intensities is None:
+            x = np.logspace(np.log10(0.01), np.log10(1024.0), n_points)
+        else:
+            x = np.asarray(list(intensities), dtype=np.float64)
+        y = np.minimum(self.peak_flops, self.total_bandwidth * x) / 1e9
+        return x, y
+
+
+def roofline_series(
+    points: Iterable[RooflinePoint],
+    testbed: TestbedConfig = SKYLAKE_EMULATION,
+) -> dict:
+    """Assemble everything needed to render Figure 5 as plain data.
+
+    Returns the baseline roof, the extended (extra tier) roof and the measured
+    application-phase points.
+    """
+    base = RooflineModel.from_testbed(testbed, include_remote_tier=False)
+    extended = RooflineModel.from_testbed(testbed, include_remote_tier=True)
+    base_x, base_y = base.curve()
+    ext_x, ext_y = extended.curve()
+    return {
+        "peak_gflops": testbed.peak_flops / 1e9,
+        "base_roof": {"intensity": base_x, "gflops": base_y, "ridge": base.ridge_point},
+        "extended_roof": {"intensity": ext_x, "gflops": ext_y, "ridge": extended.ridge_point},
+        "points": [
+            {
+                "label": p.label,
+                "intensity": p.arithmetic_intensity,
+                "gflops": p.gflops,
+                "memory_bound": base.is_memory_bound(p.arithmetic_intensity),
+                "efficiency": base.efficiency(p),
+            }
+            for p in points
+        ],
+    }

@@ -1,0 +1,22 @@
+"""The three-level memory-centric profiler."""
+
+from .level1 import Level1Profile, Level1Profiler, PhaseCharacteristics, PrefetchReport
+from .level2 import Level2Profile, Level2Profiler, TierAccessReport
+from .level3 import InterferenceReport, Level3Profiler, SensitivityCurve
+from .profiler import MultiLevelProfiler, RegionTracer, TracedRegion
+
+__all__ = [
+    "Level1Profile",
+    "Level1Profiler",
+    "PhaseCharacteristics",
+    "PrefetchReport",
+    "Level2Profile",
+    "Level2Profiler",
+    "TierAccessReport",
+    "InterferenceReport",
+    "Level3Profiler",
+    "SensitivityCurve",
+    "MultiLevelProfiler",
+    "RegionTracer",
+    "TracedRegion",
+]

@@ -1,0 +1,5 @@
+"""Dynamic (runtime) data-placement policies for multi-tier memory."""
+
+from .migration import MigratingExecutionEngine, MigrationPolicy, MigrationStats
+
+__all__ = ["MigratingExecutionEngine", "MigrationPolicy", "MigrationStats"]

@@ -1,0 +1,36 @@
+"""Interference-aware job scheduling on pooled-memory clusters."""
+
+from .cluster import Cluster, Node, Rack
+from .job import Job, JobProfile
+from .policies import (
+    InterferenceAwarePlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    POLICIES,
+    RandomPlacement,
+    make_policy,
+)
+from .simulator import (
+    ClusterSimulator,
+    CoLocationResult,
+    CoLocationStudy,
+    ScheduleOutcome,
+)
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Rack",
+    "Job",
+    "JobProfile",
+    "InterferenceAwarePlacement",
+    "LeastLoadedPlacement",
+    "PlacementPolicy",
+    "POLICIES",
+    "RandomPlacement",
+    "make_policy",
+    "ClusterSimulator",
+    "CoLocationResult",
+    "CoLocationStudy",
+    "ScheduleOutcome",
+]

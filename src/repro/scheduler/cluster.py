@@ -1,0 +1,153 @@
+"""Rack-scale cluster topology with shared memory pools (Figure 2).
+
+The paper's target architecture gives every node a fixed node-local memory and
+lets all nodes of a rack share one fabric-attached memory pool.  Interference
+therefore has rack scope: jobs on different nodes of the same rack disturb
+each other through the shared pool link, jobs in different racks do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..config.errors import SchedulingError
+from .job import Job
+
+
+@dataclass
+class Node:
+    """One compute node of a rack."""
+
+    node_id: int
+    rack_id: int
+    local_memory_gb: float
+    running: Optional[Job] = None
+
+    @property
+    def busy(self) -> bool:
+        """Whether a job currently occupies the node (no node sharing in HPC)."""
+        return self.running is not None
+
+
+@dataclass
+class Rack:
+    """A rack: nodes plus one shared memory pool."""
+
+    rack_id: int
+    nodes: list[Node]
+    pool_capacity_gb: float
+    pool_used_gb: float = 0.0
+
+    @property
+    def free_nodes(self) -> list[Node]:
+        """Nodes without a running job."""
+        return [n for n in self.nodes if not n.busy]
+
+    @property
+    def running_jobs(self) -> list[Job]:
+        """Jobs currently running in the rack."""
+        return [n.running for n in self.nodes if n.running is not None]
+
+    @property
+    def pool_free_gb(self) -> float:
+        """Unused pool capacity."""
+        return self.pool_capacity_gb - self.pool_used_gb
+
+    def aggregate_loi(self, excluding: Optional[Job] = None) -> float:
+        """Total LoI injected on the rack's pool link by running jobs.
+
+        This is the interference a (prospective or running) job would see from
+        its co-runners; the paper measures individual contributions with the
+        interference coefficient / induced LoI and schedulers sum them.
+        """
+        total = 0.0
+        for job in self.running_jobs:
+            if excluding is not None and job.job_id == excluding.job_id:
+                continue
+            total += job.profile.induced_loi
+        return min(total, 100.0)
+
+    def can_host(self, job: Job) -> bool:
+        """Whether the rack has a free node and enough pool capacity for ``job``."""
+        return bool(self.free_nodes) and job.profile.pool_gb <= self.pool_free_gb
+
+    def place(self, job: Job, node: Optional[Node] = None) -> Node:
+        """Place a job on a node of this rack and reserve its pool share."""
+        if not self.can_host(job):
+            raise SchedulingError(
+                f"rack {self.rack_id} cannot host job {job.job_id}"
+            )
+        target = node if node is not None else self.free_nodes[0]
+        if target.busy:
+            raise SchedulingError(f"node {target.node_id} is busy")
+        target.running = job
+        job.assigned_node = target.node_id
+        job.assigned_rack = self.rack_id
+        self.pool_used_gb += job.profile.pool_gb
+        return target
+
+    def release(self, job: Job) -> None:
+        """Remove a finished job from its node and release its pool share."""
+        for node in self.nodes:
+            if node.running is not None and node.running.job_id == job.job_id:
+                node.running = None
+                self.pool_used_gb = max(self.pool_used_gb - job.profile.pool_gb, 0.0)
+                return
+        raise SchedulingError(f"job {job.job_id} is not running in rack {self.rack_id}")
+
+
+@dataclass
+class Cluster:
+    """A cluster of identical racks sharing nothing across rack boundaries."""
+
+    racks: list[Rack]
+
+    @classmethod
+    def build(
+        cls,
+        n_racks: int = 2,
+        nodes_per_rack: int = 16,
+        local_memory_gb: float = 256.0,
+        pool_capacity_gb: float = 2048.0,
+    ) -> "Cluster":
+        """Construct a homogeneous cluster (defaults echo Figure 2's sketch)."""
+        if n_racks <= 0 or nodes_per_rack <= 0:
+            raise SchedulingError("cluster needs at least one rack and one node per rack")
+        racks = []
+        node_id = 0
+        for rack_id in range(n_racks):
+            nodes = []
+            for _ in range(nodes_per_rack):
+                nodes.append(Node(node_id=node_id, rack_id=rack_id, local_memory_gb=local_memory_gb))
+                node_id += 1
+            racks.append(Rack(rack_id=rack_id, nodes=nodes, pool_capacity_gb=pool_capacity_gb))
+        return cls(racks=racks)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        return sum(len(r.nodes) for r in self.racks)
+
+    @property
+    def free_nodes(self) -> int:
+        """Number of idle nodes."""
+        return sum(len(r.free_nodes) for r in self.racks)
+
+    @property
+    def running_jobs(self) -> list[Job]:
+        """All jobs currently running anywhere in the cluster."""
+        jobs: list[Job] = []
+        for rack in self.racks:
+            jobs.extend(rack.running_jobs)
+        return jobs
+
+    def rack_of(self, job: Job) -> Rack:
+        """The rack a running job was placed in."""
+        if job.assigned_rack is None:
+            raise SchedulingError(f"job {job.job_id} has not been placed")
+        return self.racks[job.assigned_rack]
+
+    def candidate_racks(self, job: Job) -> list[Rack]:
+        """Racks that could host ``job`` right now."""
+        return [rack for rack in self.racks if rack.can_host(job)]

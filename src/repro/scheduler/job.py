@@ -1,0 +1,112 @@
+"""Job descriptions for the scheduling studies.
+
+Section 7.2 argues that users can quantify their application's interference
+sensitivity (with LBench and the Level-3 methodology) and provide it at job
+submission so the scheduler can make interference-aware co-location decisions.
+:class:`JobProfile` is exactly that submission-time hint, and :class:`Job` is
+one instance of it queued on the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config.errors import SchedulingError
+from ..profiler.level3 import SensitivityCurve
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """Submission-time description of a job's memory/interference behaviour.
+
+    Attributes
+    ----------
+    workload:
+        Application name (used for reporting).
+    baseline_runtime:
+        Runtime on the target configuration with an idle memory pool, seconds.
+    sensitivity:
+        Measured sensitivity curve (runtime vs LoI); used to predict the
+        slowdown caused by co-runners.  Optional — jobs without the hint are
+        treated as insensitive by interference-unaware schedulers and as
+        worst-case by conservative ones.
+    interference_coefficient:
+        The IC the job induces on the shared pool (>= 1).
+    induced_loi:
+        The Level of Interference the job's own pool traffic generates,
+        percent of the link peak.
+    pool_gb:
+        Memory the job draws from the rack's pool, GB.
+    """
+
+    workload: str
+    baseline_runtime: float
+    sensitivity: Optional[SensitivityCurve] = None
+    interference_coefficient: float = 1.0
+    induced_loi: float = 0.0
+    pool_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.baseline_runtime <= 0:
+            raise SchedulingError("baseline runtime must be positive")
+        if self.interference_coefficient < 1.0:
+            raise SchedulingError("interference coefficient must be >= 1")
+        if self.induced_loi < 0:
+            raise SchedulingError("induced LoI must be non-negative")
+        if self.pool_gb < 0:
+            raise SchedulingError("pool usage must be non-negative")
+
+    def slowdown_at(self, loi: float) -> float:
+        """Predicted slowdown when co-runners generate ``loi`` percent interference."""
+        if self.sensitivity is None:
+            return 1.0
+        return self.sensitivity.slowdown_at(loi)
+
+    def runtime_at(self, loi: float) -> float:
+        """Predicted runtime under a constant interference level."""
+        return self.baseline_runtime * self.slowdown_at(loi)
+
+
+@dataclass
+class Job:
+    """One queued/running instance of a job profile."""
+
+    job_id: int
+    profile: JobProfile
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    assigned_node: Optional[int] = None
+    assigned_rack: Optional[int] = None
+
+    @property
+    def started(self) -> bool:
+        """Whether the job has been placed and started."""
+        return self.start_time is not None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job has completed."""
+        return self.finish_time is not None
+
+    @property
+    def execution_time(self) -> float:
+        """Wall-clock execution time (0 until finished)."""
+        if self.start_time is None or self.finish_time is None:
+            return 0.0
+        return self.finish_time - self.start_time
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay before the job started."""
+        if self.start_time is None:
+            return 0.0
+        return self.start_time - self.submit_time
+
+    @property
+    def slowdown(self) -> float:
+        """Execution time relative to the interference-free baseline."""
+        if not self.finished:
+            return 1.0
+        return self.execution_time / self.profile.baseline_runtime

@@ -1,0 +1,129 @@
+"""Scheduling policies: random co-location versus interference awareness.
+
+Section 7.2 compares a baseline where a job may be co-located with arbitrary
+interference (LoI drawn from 0-50%) against an interference-aware scheduler
+that avoids placing interference-inducing jobs next to sensitive ones
+(emulated by restricting the LoI range to 0-20%).  For the rack-scale
+simulation we generalise that idea into placement policies that choose the
+rack a job lands in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..config.errors import SchedulingError
+from .cluster import Cluster, Rack
+from .job import Job
+
+
+class PlacementPolicy(Protocol):
+    """Chooses the rack a job should be placed in (None = leave it queued)."""
+
+    name: str
+
+    def choose_rack(self, cluster: Cluster, job: Job, rng: np.random.Generator) -> Optional[Rack]:
+        """Pick a rack for ``job`` or return None to keep it waiting."""
+        ...
+
+
+@dataclass
+class RandomPlacement:
+    """Interference-oblivious baseline: any rack with a free node will do."""
+
+    name: str = "random"
+
+    def choose_rack(self, cluster: Cluster, job: Job, rng: np.random.Generator) -> Optional[Rack]:
+        candidates = cluster.candidate_racks(job)
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+
+@dataclass
+class LeastLoadedPlacement:
+    """Places jobs on the rack whose pool link currently carries the least traffic.
+
+    A simple capacity-balancing policy that is still interference-oblivious
+    about the *job's own* sensitivity; included as an intermediate baseline.
+    """
+
+    name: str = "least-loaded"
+
+    def choose_rack(self, cluster: Cluster, job: Job, rng: np.random.Generator) -> Optional[Rack]:
+        candidates = cluster.candidate_racks(job)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda rack: rack.aggregate_loi())
+
+
+@dataclass
+class InterferenceAwarePlacement:
+    """Keeps the interference seen by sensitive jobs below a threshold.
+
+    The policy uses the submission-time hints the paper proposes: each job's
+    induced LoI and its sensitivity curve.  A rack is acceptable for a job if
+
+    * the interference the job would *see* there stays below ``max_seen_loi``
+      (scaled down further for highly sensitive jobs), and
+    * the interference the job would *add* does not push any sensitive
+      co-runner above the same limit.
+
+    Among acceptable racks the least-loaded one is chosen.  If no rack is
+    acceptable the job waits (``strict``) or falls back to the least-loaded
+    rack (``strict=False``), so the policy degrades gracefully under pressure.
+    """
+
+    max_seen_loi: float = 20.0
+    sensitivity_threshold: float = 1.05
+    strict: bool = False
+    name: str = "interference-aware"
+
+    def _sensitive(self, job: Job) -> bool:
+        return job.profile.slowdown_at(50.0) >= self.sensitivity_threshold
+
+    def choose_rack(self, cluster: Cluster, job: Job, rng: np.random.Generator) -> Optional[Rack]:
+        candidates = cluster.candidate_racks(job)
+        if not candidates:
+            return None
+        acceptable = []
+        for rack in candidates:
+            seen = rack.aggregate_loi()
+            if self._sensitive(job) and seen > self.max_seen_loi:
+                continue
+            # Would adding this job push a sensitive co-runner over the limit?
+            harms_others = False
+            for other in rack.running_jobs:
+                other_seen = rack.aggregate_loi(excluding=other) + job.profile.induced_loi
+                if other.profile.slowdown_at(50.0) >= self.sensitivity_threshold and other_seen > self.max_seen_loi:
+                    harms_others = True
+                    break
+            if harms_others:
+                continue
+            acceptable.append(rack)
+        if acceptable:
+            return min(acceptable, key=lambda rack: rack.aggregate_loi())
+        if self.strict:
+            return None
+        return min(candidates, key=lambda rack: rack.aggregate_loi())
+
+
+POLICIES = {
+    "random": RandomPlacement,
+    "least-loaded": LeastLoadedPlacement,
+    "interference-aware": InterferenceAwarePlacement,
+}
+
+
+def make_policy(name: str, **kwargs) -> PlacementPolicy:
+    """Instantiate a placement policy by name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError as exc:
+        raise SchedulingError(
+            f"unknown scheduling policy {name!r}; known: {sorted(POLICIES)}"
+        ) from exc
+    return cls(**kwargs)

@@ -1,0 +1,33 @@
+"""Execution: platform assembly, performance model, interference, engine."""
+
+from .engine import ExecutionEngine, TierTraffic
+from .interference import (
+    ConstantInterference,
+    InterferenceSource,
+    NoInterference,
+    RandomInterference,
+)
+from .perfmodel import PerformanceModel, PhaseInputs
+from .platform import Platform
+from .results import (
+    ObjectPlacementResult,
+    PhaseResult,
+    RunResult,
+    TimeBreakdown,
+)
+
+__all__ = [
+    "ExecutionEngine",
+    "TierTraffic",
+    "ConstantInterference",
+    "InterferenceSource",
+    "NoInterference",
+    "RandomInterference",
+    "PerformanceModel",
+    "PhaseInputs",
+    "Platform",
+    "ObjectPlacementResult",
+    "PhaseResult",
+    "RunResult",
+    "TimeBreakdown",
+]

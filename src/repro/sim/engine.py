@@ -1,0 +1,338 @@
+"""Execution engine: runs workload specifications on a platform.
+
+The engine is the simulator's stand-in for "running the application on the
+testbed".  It
+
+1. lays the workload's memory objects out in a virtual address space in
+   allocation order,
+2. places their pages on the platform's memory tiers with the first-touch
+   policy (or whatever explicit placement an object requests),
+3. executes the phases: for each phase it splits the phase's DRAM traffic over
+   the tiers according to which pages of which objects the traffic targets,
+   derives the prefetcher's behaviour from the access patterns, asks the
+   performance model for the runtime under the configured interference, and
+4. emits the counters the multi-level profiler consumes.
+
+Dynamic (late) allocations and objects freed after initialisation are applied
+between the first and second phase, which is what the BFS case study of
+Section 7.1 manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..cache import events
+from ..cache.events import CounterSet
+from ..config.errors import WorkloadError
+from ..memory.objects import AddressSpace, MemoryObject
+from ..memory.tiered import TieredMemory
+from ..trace.access import PageAccessProfile
+from ..workloads.base import PhaseSpec, WorkloadSpec
+from .interference import InterferenceSource, NoInterference
+from .perfmodel import PhaseInputs
+from .platform import Platform
+from .results import ObjectPlacementResult, PhaseResult, RunResult
+
+
+@dataclass(frozen=True)
+class TierTraffic:
+    """Per-tier demand traffic of one phase, bytes."""
+
+    per_tier: tuple[float, ...]
+
+    @property
+    def local(self) -> float:
+        """Traffic to the top (local) tier."""
+        return self.per_tier[0]
+
+    @property
+    def remote(self) -> float:
+        """Traffic to the bottom (remote) tier; 0 on single-tier systems."""
+        return self.per_tier[-1] if len(self.per_tier) > 1 else 0.0
+
+    @property
+    def total(self) -> float:
+        """All demand traffic."""
+        return float(sum(self.per_tier))
+
+
+class ExecutionEngine:
+    """Runs :class:`~repro.workloads.base.WorkloadSpec` objects on a :class:`Platform`."""
+
+    def __init__(self, platform: Platform, seed: int = 0) -> None:
+        self.platform = platform
+        self.seed = int(seed)
+
+    # -- public API --------------------------------------------------------------------
+
+    def run(
+        self,
+        spec: WorkloadSpec,
+        prefetch_enabled: Optional[bool] = None,
+        interference: Optional[InterferenceSource] = None,
+        reserved_local_bytes: int = 0,
+    ) -> RunResult:
+        """Execute ``spec`` and return the full :class:`RunResult`.
+
+        Parameters
+        ----------
+        spec:
+            The workload at a specific input problem.
+        prefetch_enabled:
+            Override the testbed's hardware-prefetching switch (None keeps the
+            platform default) — the lever behind Figures 7 and 8.
+        interference:
+            Background traffic on the link to the memory pool (None = idle).
+        reserved_local_bytes:
+            Local memory occupied by other software (`setup_waste`), reducing
+            what first-touch placement can use.
+        """
+        interference = interference if interference is not None else NoInterference()
+        rng = np.random.default_rng(self.seed)
+
+        space, memory, objects = self._build_memory(spec, reserved_local_bytes)
+        prefetch = (
+            self.platform.testbed.prefetcher.enabled
+            if prefetch_enabled is None
+            else bool(prefetch_enabled)
+        )
+
+        phase_results: list[PhaseResult] = []
+        clock = 0.0
+        for index, phase in enumerate(spec.phases):
+            if index == 1:
+                self._apply_post_init_changes(spec, memory, objects)
+            result = self._run_phase(
+                spec, phase, memory, objects, rng, prefetch, interference, clock
+            )
+            phase_results.append(result)
+            clock += result.runtime
+
+        placements = tuple(
+            ObjectPlacementResult(
+                name=obj.name,
+                size_bytes=obj.size_bytes,
+                bytes_per_tier=tuple(
+                    memory.object_tier_bytes(obj)[usage.name] for usage in memory.usage
+                ),
+                placement_policy=obj.placement,
+            )
+            for obj in objects.values()
+        )
+        return RunResult(
+            workload=spec.name,
+            input_label=spec.input_label,
+            scale=spec.scale,
+            config_label=self.platform.label,
+            phases=tuple(phase_results),
+            placements=placements,
+            remote_capacity_ratio=memory.remote_capacity_ratio(),
+            footprint_bytes=spec.footprint_bytes,
+            prefetch_enabled=prefetch,
+            interference_loi=interference.mean_loi(),
+        )
+
+    def access_profile(self, spec: WorkloadSpec, phases: Optional[Sequence[str]] = None) -> PageAccessProfile:
+        """Aggregate page-level access counts of a run (for the Figure-6 curves).
+
+        The profile is placement-independent: it reflects how the workload
+        spreads its traffic over its own footprint, which is what the
+        bandwidth-capacity scaling curve visualises.
+        """
+        rng = np.random.default_rng(self.seed)
+        space = AddressSpace(
+            page_bytes=self.platform.testbed.page_bytes,
+            line_bytes=self.platform.testbed.cacheline_bytes,
+        )
+        objects = {o.name: o for o in space.register_all(spec.fresh_objects())}
+        selected = set(phases) if phases is not None else None
+        profile = PageAccessProfile(np.empty(0, dtype=np.int64), np.empty(0))
+        for phase in spec.phases:
+            if selected is not None and phase.name not in selected:
+                continue
+            for name, fraction in phase.object_traffic.items():
+                obj = objects[name]
+                traffic_lines = (
+                    phase.dram_bytes * fraction / self.platform.testbed.cacheline_bytes
+                )
+                if traffic_lines <= 0 or obj.n_pages == 0:
+                    continue
+                weights = obj.pattern.page_weights(obj.n_pages, rng)
+                counts = weights * traffic_lines
+                profile = profile.merged(PageAccessProfile(obj.page_range(), counts))
+        return profile
+
+    def l2_timeline(
+        self,
+        spec: WorkloadSpec,
+        result: RunResult,
+        steps_per_phase: Optional[int] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Timeline of L2 cachelines fetched per time bucket (Figure 7).
+
+        Returns ``(bucket_end_times, lines_per_bucket)`` covering the whole
+        run; each phase's traffic follows its declared temporal profile.
+        """
+        times: list[np.ndarray] = []
+        lines: list[np.ndarray] = []
+        clock = 0.0
+        for phase_spec, phase_result in zip(spec.phases, result.phases):
+            steps = steps_per_phase if steps_per_phase is not None else phase_spec.timeline_steps
+            shape = phase_spec.traffic_shape(steps)
+            total_lines = phase_result.counters[events.L2_LINES_IN]
+            bucket_times = clock + np.linspace(
+                phase_result.runtime / steps, phase_result.runtime, steps
+            )
+            times.append(bucket_times)
+            lines.append(shape * total_lines)
+            clock += phase_result.runtime
+        if not times:
+            return np.empty(0), np.empty(0)
+        return np.concatenate(times), np.concatenate(lines)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _build_memory(
+        self, spec: WorkloadSpec, reserved_local_bytes: int
+    ) -> tuple[AddressSpace, TieredMemory, dict[str, MemoryObject]]:
+        space = AddressSpace(
+            page_bytes=self.platform.testbed.page_bytes,
+            line_bytes=self.platform.testbed.cacheline_bytes,
+        )
+        fresh = spec.fresh_objects()
+        space.register_all(fresh)
+        objects = {o.name: o for o in fresh}
+        tier_config = self.platform.tier_config_for(spec.footprint_bytes)
+        memory = TieredMemory(tier_config, space, reserved_local_bytes=reserved_local_bytes)
+        late = set(spec.late_objects)
+        # First-touch everything that exists before the compute phases, in
+        # program allocation order.
+        memory.touch_in_order([o for o in fresh if o.name not in late])
+        return space, memory, objects
+
+    def _apply_post_init_changes(
+        self,
+        spec: WorkloadSpec,
+        memory: TieredMemory,
+        objects: dict[str, MemoryObject],
+    ) -> None:
+        """Free init-only objects, then place late (dynamic) allocations."""
+        for name in spec.init_only_objects:
+            memory.free(objects[name])
+        for name in spec.late_objects:
+            memory.touch(objects[name])
+
+    def _tier_traffic(
+        self,
+        phase: PhaseSpec,
+        memory: TieredMemory,
+        objects: dict[str, MemoryObject],
+        rng: np.random.Generator,
+    ) -> TierTraffic:
+        """Split the phase's demand traffic over the memory tiers."""
+        n_tiers = len(memory.usage)
+        per_tier = np.zeros(n_tiers, dtype=np.float64)
+        for name, fraction in phase.object_traffic.items():
+            obj = objects[name]
+            traffic = phase.dram_bytes * fraction
+            if traffic <= 0 or obj.n_pages == 0:
+                continue
+            placement = memory.placement_of(obj)
+            weights = obj.pattern.page_weights(obj.n_pages, rng)
+            for tier in range(n_tiers):
+                mask = placement == tier
+                if mask.any():
+                    per_tier[tier] += traffic * float(weights[mask].sum())
+            # Pages that were freed (UNPLACED) no longer generate traffic —
+            # attribute their share to the local tier, as a freed-and-reused
+            # region would be.
+            unplaced = placement < 0
+            if unplaced.any():
+                per_tier[0] += traffic * float(weights[unplaced].sum())
+        return TierTraffic(per_tier=tuple(per_tier))
+
+    def _phase_stream_fraction(
+        self, phase: PhaseSpec, objects: dict[str, MemoryObject]
+    ) -> float:
+        if phase.stream_fraction is not None:
+            return phase.stream_fraction
+        total = 0.0
+        for name, fraction in phase.object_traffic.items():
+            total += fraction * objects[name].pattern.stream_fraction
+        return float(np.clip(total, 0.0, 1.0))
+
+    def _run_phase(
+        self,
+        spec: WorkloadSpec,
+        phase: PhaseSpec,
+        memory: TieredMemory,
+        objects: dict[str, MemoryObject],
+        rng: np.random.Generator,
+        prefetch: bool,
+        interference: InterferenceSource,
+        clock: float,
+    ) -> PhaseResult:
+        traffic = self._tier_traffic(phase, memory, objects, rng)
+        stream_fraction = self._phase_stream_fraction(phase, objects)
+        cache_stats = self.platform.cache_model.stats_from_fraction(
+            demand_dram_bytes=phase.dram_bytes,
+            stream_fraction=stream_fraction,
+            write_fraction=phase.write_fraction,
+            accuracy_hint=phase.prefetch_accuracy_hint,
+            prefetch_enabled=prefetch,
+        )
+        line_bytes = self.platform.testbed.cacheline_bytes
+        extra_bytes = cache_stats.useless_prefetch_lines * line_bytes
+        total_demand = max(traffic.total, 1e-12)
+        local_share = traffic.local / total_demand
+        remote_share = traffic.remote / total_demand
+
+        background_bw = interference.background_bandwidth(self.platform.link, clock)
+        # Useless prefetch traffic is charged to the traffic counters but not
+        # to the runtime: hardware prefetchers throttle under bandwidth
+        # pressure, so the wasted fetches mostly consume otherwise-idle
+        # bandwidth (SuperLU's 37% extra traffic still yields a net speedup
+        # in the paper).
+        perf_inputs = PhaseInputs(
+            flops=phase.flops,
+            local_demand_bytes=traffic.local,
+            remote_demand_bytes=traffic.remote,
+            local_extra_bytes=0.0,
+            remote_extra_bytes=0.0,
+            prefetch_coverage=cache_stats.covered_fraction,
+            mlp=phase.mlp,
+            background_bandwidth=background_bw,
+        )
+        breakdown = self.platform.performance_model.phase_time(perf_inputs)
+        runtime = breakdown.runtime
+
+        counters = CounterSet(cache_stats.counters.as_dict())
+        counters.set(events.FP_ARITH_OPS, phase.flops)
+        counters.set(events.ELAPSED_SECONDS, runtime)
+        counters.set(events.OFFCORE_LOCAL_DRAM, traffic.local / line_bytes)
+        counters.set(events.OFFCORE_REMOTE_DRAM, traffic.remote / line_bytes)
+        own_remote_bw = (traffic.remote + extra_bytes * remote_share) / max(runtime, 1e-12)
+        measured_bw = self.platform.link.measured_traffic(own_remote_bw + background_bw)
+        counters.set(events.UPI_TRAFFIC_BYTES, measured_bw * runtime)
+        utilization = self.platform.link.utilization(own_remote_bw + background_bw)
+        counters.set(events.UPI_UTILIZATION, utilization)
+
+        return PhaseResult(
+            name=phase.name,
+            runtime=runtime,
+            flops=phase.flops,
+            dram_bytes=phase.dram_bytes,
+            local_bytes=traffic.local,
+            remote_bytes=traffic.remote,
+            prefetch_coverage=cache_stats.covered_fraction,
+            prefetch_accuracy=cache_stats.accuracy,
+            excess_traffic_fraction=cache_stats.excess_traffic_fraction,
+            counters=counters,
+            breakdown=breakdown,
+            link_utilization=utilization,
+            background_bandwidth=background_bw,
+        )

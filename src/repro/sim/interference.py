@@ -1,0 +1,110 @@
+"""Interference sources: background traffic injected on the remote link.
+
+Section 6 of the paper uses LBench to inject a configurable Level of
+Interference (LoI) on the link to the memory pool, and Section 7.2 varies the
+LoI randomly over time to emulate other jobs being scheduled onto the same
+pool.  These classes describe that background traffic for the execution
+engine; the LBench workload itself (which also *measures* interference) lives
+in :mod:`repro.workloads.lbench`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+from ..config.errors import ConfigurationError
+from ..interconnect.link import RemoteLink
+
+
+class InterferenceSource(Protocol):
+    """Anything that can report background link bandwidth at a point in time."""
+
+    def background_bandwidth(self, link: RemoteLink, time: float) -> float:
+        """Background data bandwidth on the link at simulated ``time``, bytes/s."""
+        ...
+
+    def mean_loi(self) -> float:
+        """Average Level of Interference generated, percent of peak traffic."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoInterference:
+    """An idle memory pool: no background traffic."""
+
+    def background_bandwidth(self, link: RemoteLink, time: float) -> float:
+        return 0.0
+
+    def mean_loi(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ConstantInterference:
+    """A constant Level of Interference, as used for the sensitivity sweeps.
+
+    ``loi`` is the percentage of the link's peak traffic that the background
+    (an LBench instance on another node, in the paper's setup) generates.
+    """
+
+    loi: float
+
+    def __post_init__(self) -> None:
+        if self.loi < 0:
+            raise ConfigurationError("LoI must be non-negative")
+
+    def background_bandwidth(self, link: RemoteLink, time: float) -> float:
+        return link.bandwidth_for_loi(self.loi)
+
+    def mean_loi(self) -> float:
+        return float(self.loi)
+
+
+@dataclass(frozen=True)
+class RandomInterference:
+    """LoI redrawn uniformly from ``[low, high]`` every ``interval`` seconds.
+
+    This reproduces the scheduling study's background: "the level of
+    interference changes randomly between 0–50% every 60 s" for the random
+    baseline, and 0–20% for the interference-aware scheduler (Section 7.2).
+    The draw sequence is deterministic given the seed.
+    """
+
+    low: float
+    high: float
+    interval: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ConfigurationError("need 0 <= low <= high for random interference")
+        if self.interval <= 0:
+            raise ConfigurationError("interval must be positive")
+
+    def _loi_at(self, time: float) -> float:
+        slot = int(max(time, 0.0) // self.interval)
+        # One independent generator per slot keeps draws stable regardless of
+        # the order in which times are queried.
+        rng = np.random.default_rng((self.seed, slot))
+        return float(rng.uniform(self.low, self.high))
+
+    def background_bandwidth(self, link: RemoteLink, time: float) -> float:
+        return link.bandwidth_for_loi(self._loi_at(time))
+
+    def mean_loi(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def loi_timeline(self, duration: float) -> tuple[np.ndarray, np.ndarray]:
+        """(slot start times, LoI values) covering ``duration`` seconds."""
+        n_slots = int(np.ceil(max(duration, 0.0) / self.interval)) or 1
+        times = np.arange(n_slots) * self.interval
+        lois = np.array([self._loi_at(t) for t in times])
+        return times, lois
+
+    def average_loi_over(self, duration: float) -> float:
+        """Time-averaged LoI over ``duration`` seconds (deterministic)."""
+        _, lois = self.loi_timeline(duration)
+        return float(lois.mean()) if len(lois) else 0.0

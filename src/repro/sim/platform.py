@@ -1,0 +1,141 @@
+"""Platform assembly: testbed + tiered memory + remote link + models.
+
+A :class:`Platform` bundles everything needed to execute a workload
+specification: the hardware description, the tier geometry (how much of the
+footprint fits in node-local memory), the remote link with its contention
+model, the cache-hierarchy model and the performance model.  It corresponds to
+one configured instance of the paper's emulation platform (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cache.hierarchy import CacheHierarchyModel
+from ..config.errors import ConfigurationError
+from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
+from ..config.tiers import (
+    TieredMemoryConfig,
+    capacity_ratio_config,
+    single_tier_config,
+    two_tier_config,
+)
+from ..interconnect.link import RemoteLink
+from ..interconnect.queueing import QueueingModel
+from .perfmodel import PerformanceModel
+
+
+class Platform:
+    """One configured emulation platform.
+
+    Parameters
+    ----------
+    testbed:
+        Hardware description (bandwidths, latencies, caches, prefetcher).
+    tier_config:
+        Tier geometry.  ``None`` means "decide per workload" — the execution
+        engine will then build a single-tier (local only) system big enough
+        for the workload, which is the Level-1 profiling setup.
+    label:
+        Human-readable configuration label used in results
+        (``"50-50"``, ``"local-only"``...).
+    queueing:
+        Contention model for the remote link (defaults to M/M/1).
+    """
+
+    def __init__(
+        self,
+        testbed: TestbedConfig = SKYLAKE_EMULATION,
+        tier_config: Optional[TieredMemoryConfig] = None,
+        label: Optional[str] = None,
+        queueing: Optional[QueueingModel] = None,
+    ) -> None:
+        self.testbed = testbed
+        self.tier_config = tier_config
+        self.label = label if label is not None else self._default_label()
+        self.link = RemoteLink(testbed, queueing)
+        self.cache_model = CacheHierarchyModel(testbed)
+        self.performance_model = PerformanceModel(testbed, self.link)
+
+    def _default_label(self) -> str:
+        if self.tier_config is None:
+            return "local-only"
+        ratios = self.tier_config.capacity_ratios
+        return "-".join(f"{int(round(r * 100))}" for r in ratios)
+
+    # -- constructors ------------------------------------------------------------------
+
+    @classmethod
+    def local_only(cls, testbed: TestbedConfig = SKYLAKE_EMULATION) -> "Platform":
+        """A platform whose memory system is sized per-workload, local tier only."""
+        return cls(testbed=testbed, tier_config=None, label="local-only")
+
+    @classmethod
+    def pooled(
+        cls,
+        footprint_bytes: int,
+        local_fraction: float,
+        testbed: TestbedConfig = SKYLAKE_EMULATION,
+        queueing: Optional[QueueingModel] = None,
+    ) -> "Platform":
+        """A two-tier platform where ``local_fraction`` of the footprint fits locally.
+
+        Mirrors the paper's `setup_waste` configurations: ``local_fraction``
+        of 0.75, 0.50 and 0.25 give the 75-25, 50-50 and 25-75 systems of
+        Figures 9 and 10.
+        """
+        config = capacity_ratio_config(footprint_bytes, local_fraction, testbed)
+        label = (
+            f"{int(round(local_fraction * 100))}-"
+            f"{int(round((1.0 - local_fraction) * 100))}"
+        )
+        return cls(testbed=testbed, tier_config=config, label=label, queueing=queueing)
+
+    @classmethod
+    def explicit(
+        cls,
+        local_capacity: int,
+        remote_capacity: int,
+        testbed: TestbedConfig = SKYLAKE_EMULATION,
+        label: Optional[str] = None,
+        queueing: Optional[QueueingModel] = None,
+    ) -> "Platform":
+        """A two-tier platform with explicit capacities."""
+        config = two_tier_config(local_capacity, remote_capacity, testbed)
+        return cls(testbed=testbed, tier_config=config, label=label, queueing=queueing)
+
+    # -- per-workload tier geometry ------------------------------------------------------
+
+    def tier_config_for(self, footprint_bytes: int) -> TieredMemoryConfig:
+        """The tier geometry used when running a workload of the given footprint.
+
+        If the platform was given an explicit tier configuration it is used as
+        is (and must be able to hold the footprint); otherwise a generous
+        single-tier local system is created.
+        """
+        if footprint_bytes <= 0:
+            raise ConfigurationError("footprint must be positive")
+        if self.tier_config is not None:
+            if self.tier_config.total_capacity < footprint_bytes:
+                raise ConfigurationError(
+                    f"platform {self.label!r}: total tier capacity "
+                    f"({self.tier_config.total_capacity} B) cannot hold the workload "
+                    f"footprint ({footprint_bytes} B)"
+                )
+            return self.tier_config
+        # Local-only: size the single tier with 10% headroom.
+        return single_tier_config(int(footprint_bytes * 1.1) + 1, self.testbed)
+
+    @property
+    def is_pooled(self) -> bool:
+        """True when the platform has a remote/pooled tier."""
+        return self.tier_config is not None and self.tier_config.n_tiers > 1
+
+    def describe(self) -> dict:
+        """Summary of the platform configuration."""
+        return {
+            "label": self.label,
+            "testbed": self.testbed.describe(),
+            "tiers": None if self.tier_config is None else self.tier_config.describe(),
+        }

@@ -1,0 +1,208 @@
+"""Result containers produced by the execution engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..cache.events import CounterSet
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Where a phase's time went, according to the performance model.
+
+    The components are not additive — the model overlaps compute with
+    bandwidth-bound transfers — but each is reported so users can see which
+    resource bound the phase.
+    """
+
+    compute_time: float
+    local_bandwidth_time: float
+    remote_bandwidth_time: float
+    latency_stall_time: float
+    runtime: float
+
+    @property
+    def bound_by(self) -> str:
+        """Which component dominates the phase ("compute", "local-bw", "remote-bw", "latency")."""
+        components = {
+            "compute": self.compute_time,
+            "local-bw": self.local_bandwidth_time,
+            "remote-bw": self.remote_bandwidth_time,
+            "latency": self.latency_stall_time,
+        }
+        return max(components, key=components.get)
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Measured (simulated) outcome of one workload phase.
+
+    The fields mirror what the paper's multi-level profiler extracts: Level 1
+    quantities (flops, traffic, arithmetic intensity, prefetch metrics),
+    Level 2 quantities (per-tier bytes and the remote access ratio) and the
+    Level 3 link traffic counters.
+    """
+
+    name: str
+    runtime: float
+    flops: float
+    dram_bytes: float
+    local_bytes: float
+    remote_bytes: float
+    prefetch_coverage: float
+    prefetch_accuracy: float
+    excess_traffic_fraction: float
+    counters: CounterSet
+    breakdown: TimeBreakdown
+    link_utilization: float = 0.0
+    background_bandwidth: float = 0.0
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per DRAM byte (local + remote demand traffic)."""
+        if self.dram_bytes <= 0:
+            return float("inf")
+        return self.flops / self.dram_bytes
+
+    @property
+    def achieved_flops(self) -> float:
+        """Achieved throughput in flop/s."""
+        if self.runtime <= 0:
+            return 0.0
+        return self.flops / self.runtime
+
+    @property
+    def remote_access_ratio(self) -> float:
+        """Fraction of demand DRAM traffic served by the remote tier (Level-2 metric)."""
+        total = self.local_bytes + self.remote_bytes
+        if total <= 0:
+            return 0.0
+        return self.remote_bytes / total
+
+    @property
+    def achieved_bandwidth(self) -> float:
+        """Achieved aggregate memory bandwidth, bytes/s."""
+        if self.runtime <= 0:
+            return 0.0
+        return self.dram_bytes / self.runtime
+
+    @property
+    def remote_bandwidth_demand(self) -> float:
+        """Average data bandwidth this phase pushed onto the remote link, bytes/s."""
+        if self.runtime <= 0:
+            return 0.0
+        return self.remote_bytes / self.runtime
+
+
+@dataclass(frozen=True)
+class ObjectPlacementResult:
+    """Final placement of one memory object across the tiers."""
+
+    name: str
+    size_bytes: int
+    bytes_per_tier: tuple[int, ...]
+    placement_policy: str
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of the object's pages that ended up in the bottom tier."""
+        total = sum(self.bytes_per_tier)
+        if total <= 0:
+            return 0.0
+        return self.bytes_per_tier[-1] / total
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Full outcome of executing one workload on one platform configuration."""
+
+    workload: str
+    input_label: str
+    scale: float
+    config_label: str
+    phases: tuple[PhaseResult, ...]
+    placements: tuple[ObjectPlacementResult, ...]
+    remote_capacity_ratio: float
+    footprint_bytes: int
+    prefetch_enabled: bool
+    interference_loi: float
+
+    # -- aggregates ---------------------------------------------------------------
+
+    @property
+    def total_runtime(self) -> float:
+        """End-to-end runtime (sum of phases), seconds."""
+        return float(sum(p.runtime for p in self.phases))
+
+    @property
+    def total_flops(self) -> float:
+        """Total floating-point operations across phases."""
+        return float(sum(p.flops for p in self.phases))
+
+    @property
+    def total_dram_bytes(self) -> float:
+        """Total demand DRAM traffic across phases, bytes."""
+        return float(sum(p.dram_bytes for p in self.phases))
+
+    @property
+    def total_remote_bytes(self) -> float:
+        """Total remote-tier traffic across phases, bytes."""
+        return float(sum(p.remote_bytes for p in self.phases))
+
+    @property
+    def total_local_bytes(self) -> float:
+        """Total local-tier traffic across phases, bytes."""
+        return float(sum(p.local_bytes for p in self.phases))
+
+    @property
+    def remote_access_ratio(self) -> float:
+        """Traffic-weighted remote access ratio over the whole run."""
+        total = self.total_local_bytes + self.total_remote_bytes
+        if total <= 0:
+            return 0.0
+        return self.total_remote_bytes / total
+
+    @property
+    def counters(self) -> CounterSet:
+        """Merged counters over all phases."""
+        merged = CounterSet()
+        for phase in self.phases:
+            merged = merged.merged(phase.counters)
+        return merged
+
+    def phase(self, name: str) -> PhaseResult:
+        """Look a phase result up by name."""
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"run has no phase {name!r}")
+
+    def placement(self, object_name: str) -> ObjectPlacementResult:
+        """Look an object placement up by name."""
+        for p in self.placements:
+            if p.name == object_name:
+                return p
+        raise KeyError(f"run has no placement for object {object_name!r}")
+
+    def phase_label(self, phase_name: str) -> str:
+        """The paper's ``App-pN`` label for a phase of this run."""
+        return f"{self.workload}-{phase_name}"
+
+    def summary(self) -> dict:
+        """Compact dictionary summary for reports."""
+        return {
+            "workload": self.workload,
+            "input": self.input_label,
+            "config": self.config_label,
+            "runtime_s": self.total_runtime,
+            "gflops": self.total_flops / 1e9,
+            "dram_gb": self.total_dram_bytes / 1e9,
+            "remote_access_ratio": self.remote_access_ratio,
+            "remote_capacity_ratio": self.remote_capacity_ratio,
+            "prefetch_enabled": self.prefetch_enabled,
+            "interference_loi": self.interference_loi,
+        }

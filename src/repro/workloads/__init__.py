@@ -1,0 +1,63 @@
+"""Workload models: the six evaluated HPC applications, LBench and RMAT/BFS kernels."""
+
+from .base import (
+    PhaseSpec,
+    TRAFFIC_PROFILE_BURSTY,
+    TRAFFIC_PROFILE_DECREASING,
+    TRAFFIC_PROFILE_FLAT,
+    TRAFFIC_PROFILE_RAMP,
+    WorkloadModel,
+    WorkloadSpec,
+)
+from .bfs import BFSModel
+from .hpl import HPLModel
+from .hypre import HypreModel
+from .lbench import LBench, LBenchMeasurement, lbench_kernel
+from .nekrs import NekRSModel
+from .registry import (
+    ALIASES,
+    WORKLOAD_MODELS,
+    all_models,
+    build_all,
+    build_workload,
+    get_model,
+    table2_rows,
+    workload_names,
+)
+from .rmat import BFSResult, CSRGraph, adjacency_access_counts, bfs, build_csr, rmat_edges, rmat_graph
+from .superlu import SuperLUModel
+from .xsbench import XSBenchModel
+
+__all__ = [
+    "PhaseSpec",
+    "TRAFFIC_PROFILE_BURSTY",
+    "TRAFFIC_PROFILE_DECREASING",
+    "TRAFFIC_PROFILE_FLAT",
+    "TRAFFIC_PROFILE_RAMP",
+    "WorkloadModel",
+    "WorkloadSpec",
+    "BFSModel",
+    "HPLModel",
+    "HypreModel",
+    "LBench",
+    "LBenchMeasurement",
+    "lbench_kernel",
+    "NekRSModel",
+    "ALIASES",
+    "WORKLOAD_MODELS",
+    "all_models",
+    "build_all",
+    "build_workload",
+    "get_model",
+    "table2_rows",
+    "workload_names",
+    "BFSResult",
+    "CSRGraph",
+    "adjacency_access_counts",
+    "bfs",
+    "build_csr",
+    "rmat_edges",
+    "rmat_graph",
+    "SuperLUModel",
+    "XSBenchModel",
+]

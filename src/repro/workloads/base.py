@@ -1,0 +1,337 @@
+"""Workload specification model.
+
+The paper evaluates six real HPC applications (Table 2).  Running those codes
+is impossible here, so each application is represented by a **behavioural
+model**: the memory objects it allocates (in program allocation order, with
+sizes scaling like the paper's 1:2:4 input problems), and a sequence of
+execution *phases*, each characterised by the properties the paper's
+three-level methodology actually measures —
+
+* floating-point work and DRAM traffic (arithmetic intensity, Figure 5),
+* how that traffic is distributed over the allocated objects and their pages
+  (bandwidth-capacity scaling curves, Figure 6; tier access ratios, Figure 9),
+* how prefetchable the access stream is (prefetch accuracy/coverage/gain,
+  Figures 7 and 8),
+* how much memory-level parallelism the kernel has, i.e. how exposed it is to
+  access latency (interference sensitivity, Figure 10).
+
+The execution engine in :mod:`repro.sim.engine` turns these specifications
+into placements, counters and runtimes on a given platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..config.errors import WorkloadError
+from ..memory.objects import MemoryObject
+
+
+#: Shapes of a phase's traffic over time, used for the Figure-7 timelines.
+TRAFFIC_PROFILE_FLAT = "flat"
+TRAFFIC_PROFILE_DECREASING = "decreasing"
+TRAFFIC_PROFILE_RAMP = "ramp"
+TRAFFIC_PROFILE_BURSTY = "bursty"
+
+TRAFFIC_PROFILES = (
+    TRAFFIC_PROFILE_FLAT,
+    TRAFFIC_PROFILE_DECREASING,
+    TRAFFIC_PROFILE_RAMP,
+    TRAFFIC_PROFILE_BURSTY,
+)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One execution phase of a workload.
+
+    Attributes
+    ----------
+    name:
+        Phase label; the paper uses ``p1`` for initialisation and ``p2``
+        (``p3``…) for compute phases.
+    flops:
+        Floating-point operations executed in the phase.
+    dram_bytes:
+        Demand traffic from main memory (past the LLC) in bytes — the
+        denominator of the paper's arithmetic intensity.
+    object_traffic:
+        Mapping from object name to the fraction of ``dram_bytes`` that goes
+        to that object.  Fractions must sum to 1 (within tolerance).
+    write_fraction:
+        Fraction of traffic that is stores (read-for-ownership).
+    mlp:
+        Effective memory-level parallelism of demand misses: how many
+        outstanding misses the kernel sustains, which controls how much
+        access latency is exposed when prefetching does not cover a miss.
+        Pointer-chasing kernels have low values; blocked dense kernels high.
+    stream_fraction:
+        Optional override of the prefetchable fraction of the phase's access
+        stream.  When None, the engine derives it from the traffic-weighted
+        stream fractions of the accessed objects' patterns.
+    prefetch_accuracy_hint:
+        Optional override of the prefetcher accuracy for this phase (used to
+        pin documented behaviour, e.g. SuperLU's high excess prefetch traffic).
+    traffic_profile:
+        Shape of the phase's traffic over time for timeline figures.
+    duration_weight:
+        Relative weight of this phase when the paper reports a single
+        per-application number (the compute phase usually dominates).
+    timeline_steps:
+        Number of time buckets used when rendering this phase as a timeline.
+    """
+
+    name: str
+    flops: float
+    dram_bytes: float
+    object_traffic: Mapping[str, float]
+    write_fraction: float = 0.25
+    mlp: float = 8.0
+    stream_fraction: Optional[float] = None
+    prefetch_accuracy_hint: Optional[float] = None
+    traffic_profile: str = TRAFFIC_PROFILE_FLAT
+    duration_weight: float = 1.0
+    timeline_steps: int = 50
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.dram_bytes < 0:
+            raise WorkloadError(f"phase {self.name!r}: flops and traffic must be >= 0")
+        if self.flops == 0 and self.dram_bytes == 0:
+            raise WorkloadError(f"phase {self.name!r}: phase does no work")
+        if not self.object_traffic:
+            raise WorkloadError(f"phase {self.name!r}: object_traffic must not be empty")
+        total = float(sum(self.object_traffic.values()))
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise WorkloadError(
+                f"phase {self.name!r}: object traffic fractions sum to {total:.4f}, expected 1"
+            )
+        if any(v < 0 for v in self.object_traffic.values()):
+            raise WorkloadError(f"phase {self.name!r}: traffic fractions must be >= 0")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise WorkloadError(f"phase {self.name!r}: write_fraction must be in [0, 1]")
+        if self.mlp <= 0:
+            raise WorkloadError(f"phase {self.name!r}: mlp must be positive")
+        if self.stream_fraction is not None and not 0.0 <= self.stream_fraction <= 1.0:
+            raise WorkloadError(f"phase {self.name!r}: stream_fraction must be in [0, 1]")
+        if self.traffic_profile not in TRAFFIC_PROFILES:
+            raise WorkloadError(
+                f"phase {self.name!r}: unknown traffic profile {self.traffic_profile!r}"
+            )
+        if self.duration_weight <= 0:
+            raise WorkloadError(f"phase {self.name!r}: duration_weight must be positive")
+        if self.timeline_steps <= 0:
+            raise WorkloadError(f"phase {self.name!r}: timeline_steps must be positive")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of DRAM traffic (the paper's AI)."""
+        if self.dram_bytes <= 0:
+            return float("inf")
+        return self.flops / self.dram_bytes
+
+    def traffic_shape(self, steps: Optional[int] = None) -> np.ndarray:
+        """Relative traffic per time bucket (sums to 1) for timeline figures."""
+        n = int(steps if steps is not None else self.timeline_steps)
+        if n <= 0:
+            raise WorkloadError("timeline steps must be positive")
+        x = np.linspace(0.0, 1.0, n)
+        if self.traffic_profile == TRAFFIC_PROFILE_FLAT:
+            shape = np.ones(n)
+        elif self.traffic_profile == TRAFFIC_PROFILE_DECREASING:
+            shape = 1.25 - x  # linear decline, e.g. shrinking trailing matrix in LU
+        elif self.traffic_profile == TRAFFIC_PROFILE_RAMP:
+            shape = 0.25 + x
+        else:  # bursty
+            shape = 1.0 + 0.5 * np.sin(x * np.pi * 6.0)
+        shape = np.clip(shape, 0.05, None)
+        return shape / shape.sum()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A fully-instantiated workload at one input problem size.
+
+    Attributes
+    ----------
+    name:
+        Application name (``"HPL"``, ``"BFS"``...).
+    input_label:
+        Description of the input problem (e.g. ``"N=28280"``).
+    scale:
+        The footprint scale factor relative to the first input problem
+        (1, 2 or 4 in Table 2).
+    objects:
+        Memory objects in **program allocation order**.  The order is what
+        first-touch placement consumes; the BFS case study permutes it.
+    phases:
+        Execution phases in order.
+    init_only_objects:
+        Names of objects used only during initialisation; the optimised BFS
+        variant frees them after the first phase to make room for dynamic
+        allocations.
+    late_objects:
+        Names of objects allocated (first touched) only *after* the
+        initialisation phase — dynamically allocated structures such as BFS's
+        frontier buffers.  Under first-touch they are placed with whatever
+        local memory is left at that point.
+    """
+
+    name: str
+    input_label: str
+    scale: float
+    objects: tuple[MemoryObject, ...]
+    phases: tuple[PhaseSpec, ...]
+    init_only_objects: tuple[str, ...] = ()
+    late_objects: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.objects:
+            raise WorkloadError(f"workload {self.name!r} declares no memory objects")
+        if not self.phases:
+            raise WorkloadError(f"workload {self.name!r} declares no phases")
+        names = [o.name for o in self.objects]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"workload {self.name!r} has duplicate object names")
+        known = set(names)
+        for phase in self.phases:
+            unknown = set(phase.object_traffic) - known
+            if unknown:
+                raise WorkloadError(
+                    f"workload {self.name!r} phase {phase.name!r} references unknown "
+                    f"objects: {sorted(unknown)}"
+                )
+        for name in self.init_only_objects:
+            if name not in known:
+                raise WorkloadError(
+                    f"workload {self.name!r}: init-only object {name!r} is not declared"
+                )
+        for name in self.late_objects:
+            if name not in known:
+                raise WorkloadError(
+                    f"workload {self.name!r}: late object {name!r} is not declared"
+                )
+        if set(self.init_only_objects) & set(self.late_objects):
+            raise WorkloadError(
+                f"workload {self.name!r}: an object cannot be both init-only and late"
+            )
+
+    # -- derived properties --------------------------------------------------------
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Peak memory footprint: the sum of all object sizes."""
+        return int(sum(o.size_bytes for o in self.objects))
+
+    @property
+    def total_flops(self) -> float:
+        """Total floating-point work across phases."""
+        return float(sum(p.flops for p in self.phases))
+
+    @property
+    def total_dram_bytes(self) -> float:
+        """Total DRAM traffic across phases."""
+        return float(sum(p.dram_bytes for p in self.phases))
+
+    @property
+    def phase_names(self) -> tuple[str, ...]:
+        """Names of all phases in order."""
+        return tuple(p.name for p in self.phases)
+
+    def phase(self, name: str) -> PhaseSpec:
+        """Look up a phase by name."""
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"workload {self.name!r} has no phase {name!r}")
+
+    def object(self, name: str) -> MemoryObject:
+        """Look up a memory object by name."""
+        for o in self.objects:
+            if o.name == name:
+                return o
+        raise KeyError(f"workload {self.name!r} has no object {name!r}")
+
+    def object_names(self) -> tuple[str, ...]:
+        """Names of all objects in allocation order."""
+        return tuple(o.name for o in self.objects)
+
+    # -- transformations used by the case studies -----------------------------------
+
+    def with_allocation_order(self, order: Sequence[str]) -> "WorkloadSpec":
+        """A copy with the objects reordered (first-touch sees the new order).
+
+        ``order`` must be a permutation of the object names.  This is the
+        mechanism behind the first BFS optimisation of Section 7.1: allocating
+        and initialising the hottest object first places it in local memory.
+        """
+        if sorted(order) != sorted(self.object_names()):
+            raise WorkloadError("allocation order must be a permutation of object names")
+        by_name = {o.name: o for o in self.objects}
+        # Rebuild fresh MemoryObject instances so address-space registration
+        # state from a previous run does not leak into the new spec.
+        new_objects = tuple(
+            MemoryObject(
+                name=by_name[n].name,
+                size_bytes=by_name[n].size_bytes,
+                pattern=by_name[n].pattern,
+                placement=by_name[n].placement,
+                allocation_site=by_name[n].allocation_site,
+                lifetime=by_name[n].lifetime,
+            )
+            for n in order
+        )
+        return replace(self, objects=new_objects)
+
+    def with_init_only(self, names: Sequence[str]) -> "WorkloadSpec":
+        """A copy that frees the named objects after the initialisation phase."""
+        return replace(self, init_only_objects=tuple(names))
+
+    def fresh_objects(self) -> tuple[MemoryObject, ...]:
+        """Unregistered copies of the memory objects (for a new engine run)."""
+        return tuple(
+            MemoryObject(
+                name=o.name,
+                size_bytes=o.size_bytes,
+                pattern=o.pattern,
+                placement=o.placement,
+                allocation_site=o.allocation_site,
+                lifetime=o.lifetime,
+            )
+            for o in self.objects
+        )
+
+
+class WorkloadModel:
+    """Base class for application models: builds a :class:`WorkloadSpec` per input.
+
+    Subclasses implement :meth:`build` and provide the three input problems of
+    Table 2 through :attr:`input_labels`.
+    """
+
+    #: Application name as used in the paper's figures.
+    name: str = "workload"
+    #: Labels of the three input problems (scale 1, 2, 4).
+    input_labels: tuple[str, str, str] = ("x1", "x2", "x4")
+    #: Footprint scale factor of each input problem.
+    input_scales: tuple[float, float, float] = (1.0, 2.0, 4.0)
+    #: Short description for Table 2.
+    description: str = ""
+    #: Parallelisation model reported in Table 2 (informational).
+    parallelization: str = "MPI+OpenMP"
+
+    def build(self, scale: float = 1.0) -> WorkloadSpec:
+        """Construct the workload at a given footprint scale factor."""
+        raise NotImplementedError
+
+    def build_input(self, index: int) -> WorkloadSpec:
+        """Construct the workload for input problem ``index`` (0, 1 or 2)."""
+        if not 0 <= index < len(self.input_scales):
+            raise WorkloadError(f"{self.name}: input problem index {index} out of range")
+        return self.build(self.input_scales[index])
+
+    def inputs(self) -> list[WorkloadSpec]:
+        """All three input problems of Table 2."""
+        return [self.build(scale) for scale in self.input_scales]

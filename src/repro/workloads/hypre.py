@@ -1,0 +1,108 @@
+"""Behavioural model of Hypre (structured-interface linear solvers).
+
+The paper runs Hypre's ``ex4`` example (structured interface, SMG-style
+multigrid solve) ten times with n = 6300 on 1, 2 and 4 ranks.  Relevant
+characteristics:
+
+* Low arithmetic intensity: stencil relaxation and residual sweeps stream
+  large vectors with only a handful of flops per point, so Hypre sits near
+  the memory-bandwidth roof (Figure 5).
+* Uniform access over the footprint and overlapping scaling curves across
+  input sizes (Figure 6e).
+* Excellent prefetchability: structured sweeps give the highest prefetch
+  coverage (~70%) of all evaluated codes (Figure 8).
+* Because it is bandwidth-bound *and* a sizable share of its traffic goes to
+  the pool when capacity forces spilling, Hypre is the most
+  interference-sensitive application (15% loss at LoI=50 on the 50-50 system,
+  Figure 10) and also causes the highest interference coefficient
+  (Figure 11 right) — its compute phase floods the link.
+"""
+
+from __future__ import annotations
+
+from ..config.units import GB
+from ..memory.objects import MemoryObject
+from ..trace.patterns import SequentialPattern, StridedPattern
+from .base import (
+    PhaseSpec,
+    TRAFFIC_PROFILE_FLAT,
+    WorkloadModel,
+    WorkloadSpec,
+)
+
+
+class HypreModel(WorkloadModel):
+    """Hypre structured-interface solver (ex4, SMG/PFMG-style cycles)."""
+
+    name = "Hypre"
+    description = "Library of high-performance linear solvers; structured interface (ex4)."
+    parallelization = "MPI+OpenMP"
+    input_labels = ("ex4 n=6300 ranks=1", "ex4 n=6300 ranks=2", "ex4 n=6300 ranks=4")
+    input_scales = (1.0, 2.0, 4.0)
+
+    #: Grid vectors (solution, rhs, residual, coarse levels) at scale 1.
+    BASE_VECTORS_BYTES = 1.3 * GB
+    #: Stencil coefficient arrays at scale 1.
+    BASE_STENCIL_BYTES = 1.1 * GB
+    #: Solve-phase flops at scale 1 (10 solves).
+    BASE_FLOPS = 1.2e12
+    #: Solve-phase DRAM traffic at scale 1.
+    BASE_TRAFFIC = 4.7e12
+
+    def build(self, scale: float = 1.0) -> WorkloadSpec:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        label = (
+            self.input_labels[self.input_scales.index(scale)]
+            if scale in self.input_scales
+            else f"x{scale:g}"
+        )
+        vectors_bytes = int(self.BASE_VECTORS_BYTES * scale)
+        stencil_bytes = int(self.BASE_STENCIL_BYTES * scale)
+
+        objects = (
+            MemoryObject(
+                name="grid-vectors",
+                size_bytes=vectors_bytes,
+                pattern=SequentialPattern(),
+                allocation_site="HYPRE_StructVectorCreate",
+            ),
+            MemoryObject(
+                name="stencil-coefficients",
+                size_bytes=stencil_bytes,
+                pattern=StridedPattern(stride_lines=1, stream_fraction=0.92),
+                allocation_site="HYPRE_StructMatrixCreate",
+            ),
+        )
+        phases = (
+            PhaseSpec(
+                name="p1",
+                flops=2.0e9 * scale,
+                dram_bytes=2.0 * (vectors_bytes + stencil_bytes),
+                object_traffic={"grid-vectors": 0.5, "stencil-coefficients": 0.5},
+                write_fraction=0.55,
+                mlp=8.0,
+                stream_fraction=0.9,
+                traffic_profile=TRAFFIC_PROFILE_FLAT,
+                duration_weight=0.1,
+            ),
+            PhaseSpec(
+                name="p2",
+                flops=self.BASE_FLOPS * scale,
+                dram_bytes=self.BASE_TRAFFIC * scale,
+                object_traffic={"grid-vectors": 0.55, "stencil-coefficients": 0.45},
+                write_fraction=0.3,
+                mlp=8.0,
+                stream_fraction=0.70,
+                prefetch_accuracy_hint=0.9,
+                traffic_profile=TRAFFIC_PROFILE_FLAT,
+                duration_weight=0.9,
+            ),
+        )
+        return WorkloadSpec(
+            name=self.name,
+            input_label=label,
+            scale=scale,
+            objects=objects,
+            phases=phases,
+        )

@@ -1,0 +1,245 @@
+"""LBench: the interference injection and measurement micro-benchmark.
+
+Section 3.2 of the paper introduces LBench, a benchmark that allocates an
+array on the memory pool and runs a simple FMA kernel over it, with a
+configurable number of floating-point operations per element::
+
+    if (NFLOP % 2 == 1) beta = A[i] + alpha;
+    for (int k = 0; k < NFLOP / 2; k++) beta = beta * A[i] + alpha;
+    A[i] = beta;
+
+Varying ``NFLOP`` trades arithmetic for memory traffic, so LBench can both
+
+* **inject** a configurable Level of Interference (LoI: generated link traffic
+  as a percentage of the peak link traffic, which is reached with 1 flop per
+  element on 12 threads), and
+* **measure** interference: the relative runtime of a 1-thread, 1-flop LBench
+  probe under load defines the *interference coefficient* (IC); unlike a raw
+  PCM traffic counter, the probe keeps responding after the link saturates,
+  because queueing keeps slowing it down.
+
+This module provides the analytical equivalent operating on the simulator's
+link model, plus a small reference implementation of the kernel itself
+(:func:`lbench_kernel`) so the arithmetic can be validated numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config.errors import ConfigurationError
+from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
+from ..config.units import GB
+from ..interconnect.link import RemoteLink
+
+
+def lbench_kernel(array: np.ndarray, nflop: int, alpha: float = 0.5) -> np.ndarray:
+    """Reference implementation of the LBench inner kernel (vectorised).
+
+    Applies the paper's per-element recurrence to every element of ``array``
+    and returns the updated array.  Each element receives exactly ``nflop``
+    floating-point operations (one add if ``nflop`` is odd, then
+    ``nflop // 2`` fused multiply-adds counted as two flops each).
+    """
+    if nflop < 1:
+        raise ConfigurationError("NFLOP must be >= 1")
+    a = np.asarray(array, dtype=np.float64)
+    beta = np.zeros_like(a)
+    if nflop % 2 == 1:
+        beta = a + alpha
+    for _ in range(nflop // 2):
+        beta = beta * a + alpha
+    return beta
+
+
+@dataclass(frozen=True)
+class LBenchMeasurement:
+    """One LBench configuration point and what it generates/observes."""
+
+    flops_per_element: int
+    threads: int
+    #: Data bandwidth LBench pushes onto the link, bytes/s (before contention).
+    offered_bandwidth: float
+    #: Level of Interference generated, percent of peak link traffic.
+    loi: float
+    #: Traffic a PCM counter would report, bytes/s (saturates at the link peak).
+    pcm_traffic: float
+
+
+class LBench:
+    """Analytical LBench on the simulated platform.
+
+    Parameters
+    ----------
+    testbed:
+        Platform description (defines the link and per-core compute rate).
+    link:
+        Remote link shared with the interference (built from the testbed when
+        not supplied).
+    element_bytes:
+        Bytes loaded per array element (8 for the double-precision kernel).
+    per_thread_peak_bandwidth:
+        The remote-link data bandwidth a single LBench thread can sustain at
+        1 flop/element.  On the paper's testbed 12 threads saturate the link
+        and 2 threads reach about 50% intensity, which pins this value to
+        roughly 1/12 of the peak traffic (in data terms, ~link/4 per pair).
+    """
+
+    def __init__(
+        self,
+        testbed: TestbedConfig = SKYLAKE_EMULATION,
+        link: RemoteLink | None = None,
+        element_bytes: int = 8,
+        per_thread_peak_bandwidth: float | None = None,
+        kernel_flop_rate: float = 6.0e9,
+    ) -> None:
+        self.testbed = testbed
+        self.link = link if link is not None else RemoteLink(testbed)
+        self.element_bytes = int(element_bytes)
+        if per_thread_peak_bandwidth is None:
+            # 12 threads saturate the link; a single thread sustains ~1/4 of
+            # the data capacity (it cannot keep enough requests in flight).
+            per_thread_peak_bandwidth = RemoteLink(testbed).data_capacity / 4.0
+        self.per_thread_peak_bandwidth = float(per_thread_peak_bandwidth)
+        if self.per_thread_peak_bandwidth <= 0:
+            raise ConfigurationError("per-thread peak bandwidth must be positive")
+        #: Flop rate one thread achieves on the dependent-chain kernel, flop/s.
+        #: Far below the core's AVX peak: the recurrence serialises on the FMA
+        #: latency, which is precisely why raising NFLOP throttles the traffic.
+        self.kernel_flop_rate = float(kernel_flop_rate)
+        if self.kernel_flop_rate <= 0:
+            raise ConfigurationError("kernel flop rate must be positive")
+
+    # -- traffic generation ----------------------------------------------------------
+
+    def per_thread_bandwidth(self, flops_per_element: int) -> float:
+        """Data bandwidth one LBench thread generates for a given NFLOP (idle link)."""
+        if flops_per_element < 1:
+            raise ConfigurationError("NFLOP must be >= 1")
+        compute_limited = self.element_bytes * self.kernel_flop_rate / flops_per_element
+        return min(self.per_thread_peak_bandwidth, compute_limited)
+
+    def offered_bandwidth(self, flops_per_element: int, threads: int) -> float:
+        """Total data bandwidth offered to the link by an LBench instance."""
+        if threads < 1:
+            raise ConfigurationError("LBench needs at least one thread")
+        return self.per_thread_bandwidth(flops_per_element) * threads
+
+    def generated_loi(self, flops_per_element: int, threads: int) -> float:
+        """Level of Interference the configuration generates (percent of peak traffic)."""
+        offered = self.offered_bandwidth(flops_per_element, threads)
+        delivered = min(offered, self.link.data_capacity)
+        return self.link.loi(delivered)
+
+    def measure(self, flops_per_element: int, threads: int) -> LBenchMeasurement:
+        """Full measurement of one LBench configuration on an otherwise idle link."""
+        offered = self.offered_bandwidth(flops_per_element, threads)
+        delivered = min(offered, self.link.data_capacity)
+        return LBenchMeasurement(
+            flops_per_element=int(flops_per_element),
+            threads=int(threads),
+            offered_bandwidth=offered,
+            loi=self.link.loi(delivered),
+            pcm_traffic=self.link.measured_traffic(offered),
+        )
+
+    # -- LoI calibration (Section 3.2) --------------------------------------------------
+
+    def bandwidth_for_loi(self, loi: float) -> float:
+        """Data bandwidth corresponding to a Level of Interference."""
+        return self.link.bandwidth_for_loi(loi)
+
+    def flops_for_loi(self, loi: float, threads: int = 2) -> int:
+        """NFLOP per element needed to generate approximately ``loi`` percent.
+
+        Mirrors the paper's calibration step: sweep the kernel intensity and
+        pick the flops/element whose generated traffic matches each LoI level.
+        Returns at least 1 (the maximum-traffic configuration).
+        """
+        if loi <= 0:
+            raise ConfigurationError("LoI must be positive for calibration")
+        target_bw = self.bandwidth_for_loi(loi)
+        per_thread_target = target_bw / max(threads, 1)
+        if per_thread_target >= self.per_thread_peak_bandwidth:
+            return 1
+        nflop = self.element_bytes * self.kernel_flop_rate / per_thread_target
+        return max(int(round(nflop)), 1)
+
+    def calibrate_loi(
+        self, lois: Sequence[float] = (10, 20, 30, 40, 50), threads: int = 2
+    ) -> dict[float, int]:
+        """Map each requested LoI level to the NFLOP setting that produces it."""
+        return {float(loi): self.flops_for_loi(loi, threads) for loi in lois}
+
+    def intensity_sweep(
+        self, intensities: Sequence[float], threads: int = 2
+    ) -> list[LBenchMeasurement]:
+        """Measured LoI for a sweep of configured intensities (Figure 11 left).
+
+        A configured intensity of X percent asks LBench for the NFLOP setting
+        calibrated to X; the measurement reports the LoI actually generated.
+        """
+        results = []
+        for intensity in intensities:
+            nflop = self.flops_for_loi(intensity, threads)
+            results.append(self.measure(nflop, threads))
+        return results
+
+    # -- interference measurement (probe / IC) -------------------------------------------
+
+    def probe_bandwidth(self, background_bandwidth: float) -> float:
+        """Effective bandwidth of the 1-thread, 1-flop probe under background load.
+
+        The probe is latency-limited: the bandwidth a single thread sustains
+        scales with the ratio of idle to contended access latency, and it can
+        never exceed its fair share of the link.
+        """
+        probe_offered = self.per_thread_bandwidth(1)
+        share = self.link.share(probe_offered, background_bandwidth)
+        latency_scaling = self.link.idle_latency / max(share.latency, self.link.idle_latency)
+        latency_limited = self.per_thread_peak_bandwidth * latency_scaling
+        return max(min(latency_limited, max(share.delivered_bandwidth, 1e-3)), 1e-3)
+
+    def probe_runtime(
+        self,
+        background_bandwidth: float,
+        array_bytes: float = 1.0 * GB,
+        iterations: int = 10,
+    ) -> float:
+        """Runtime of the probe kernel over ``iterations`` sweeps of its array."""
+        if array_bytes <= 0 or iterations <= 0:
+            raise ConfigurationError("array size and iterations must be positive")
+        bandwidth = self.probe_bandwidth(background_bandwidth)
+        return iterations * array_bytes / bandwidth
+
+    def interference_coefficient(self, background_bandwidth: float) -> float:
+        """IC = probe runtime under load / probe runtime on an idle system (>= 1)."""
+        idle = self.probe_runtime(0.0)
+        loaded = self.probe_runtime(background_bandwidth)
+        return max(loaded / idle, 1.0)
+
+    def contention_curve(
+        self, flops_per_element: Sequence[int], threads: int = 12
+    ) -> list[dict[str, float]]:
+        """IC and PCM traffic versus background kernel intensity (Figure 11 middle).
+
+        The background LBench instance sweeps ``flops_per_element``; for each
+        setting we report the interference coefficient observed by the probe
+        and the raw traffic a PCM counter reports.  Below ~8 flops/element the
+        PCM measurement saturates while the IC keeps increasing.
+        """
+        curve = []
+        for nflop in flops_per_element:
+            background = self.offered_bandwidth(nflop, threads)
+            curve.append(
+                {
+                    "flops_per_element": float(nflop),
+                    "background_bandwidth": background,
+                    "interference_coefficient": self.interference_coefficient(background),
+                    "pcm_traffic": self.link.measured_traffic(background),
+                }
+            )
+        return curve

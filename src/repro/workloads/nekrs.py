@@ -1,0 +1,110 @@
+"""Behavioural model of NekRS (spectral-element computational fluid dynamics).
+
+The paper runs the ``turbPipePeriodic`` case at polynomial orders 5, 7 and 9
+(Table 2).  Relevant characteristics:
+
+* Moderately low arithmetic intensity: small dense element operators applied
+  to many elements, plus gather/scatter of the solution fields — NekRS-p2
+  sits in the memory-bound region of the roofline but above Hypre (Figure 5).
+* Near-uniform access over the footprint, curves overlapping across input
+  sizes (Figure 6a).
+* The highest prefetch coverage together with Hypre (~70%), and the largest
+  performance gain from prefetching (57%, Figure 8): with prefetching on, its
+  memory bandwidth consumption rises sharply while total traffic grows only
+  ~3% (Figure 7a).
+* High interference sensitivity (13% loss at LoI=50 on the 50-50 system) and
+  a high interference coefficient (Figures 10 and 11).
+"""
+
+from __future__ import annotations
+
+from ..config.units import GB
+from ..memory.objects import MemoryObject
+from ..trace.patterns import GatherPattern, SequentialPattern
+from .base import (
+    PhaseSpec,
+    TRAFFIC_PROFILE_FLAT,
+    WorkloadModel,
+    WorkloadSpec,
+)
+
+
+class NekRSModel(WorkloadModel):
+    """NekRS spectral-element Navier-Stokes solver (turbPipePeriodic)."""
+
+    name = "NekRS"
+    description = "Computational fluid dynamics based on the spectral element method."
+    parallelization = "MPI"
+    input_labels = (
+        "turbPipePeriodic p=5 dt=1e-2",
+        "turbPipePeriodic p=7 dt=6e-3",
+        "turbPipePeriodic p=9 dt=1e-3",
+    )
+    input_scales = (1.0, 2.0, 4.0)
+
+    #: Solution fields (velocity, pressure, scratch) at scale 1.
+    BASE_FIELDS_BYTES = 1.4 * GB
+    #: Element geometry / operator factors at scale 1.
+    BASE_GEOMETRY_BYTES = 0.7 * GB
+    #: Time-stepping flops at scale 1.
+    BASE_FLOPS = 2.1e12
+    #: Time-stepping DRAM traffic at scale 1.
+    BASE_TRAFFIC = 3.5e12
+
+    def build(self, scale: float = 1.0) -> WorkloadSpec:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        label = (
+            self.input_labels[self.input_scales.index(scale)]
+            if scale in self.input_scales
+            else f"x{scale:g}"
+        )
+        fields_bytes = int(self.BASE_FIELDS_BYTES * scale)
+        geometry_bytes = int(self.BASE_GEOMETRY_BYTES * scale)
+
+        objects = (
+            MemoryObject(
+                name="solution-fields",
+                size_bytes=fields_bytes,
+                pattern=SequentialPattern(),
+                allocation_site="nrs_setup/fields",
+            ),
+            MemoryObject(
+                name="element-operators",
+                size_bytes=geometry_bytes,
+                pattern=GatherPattern(indexed_fraction=0.3, skew_alpha=0.5, stream_fraction=0.6),
+                allocation_site="mesh_setup/operators",
+            ),
+        )
+        phases = (
+            PhaseSpec(
+                name="p1",
+                flops=5.0e9 * scale,
+                dram_bytes=2.5 * (fields_bytes + geometry_bytes),
+                object_traffic={"solution-fields": 0.6, "element-operators": 0.4},
+                write_fraction=0.5,
+                mlp=8.0,
+                stream_fraction=0.85,
+                traffic_profile=TRAFFIC_PROFILE_FLAT,
+                duration_weight=0.15,
+            ),
+            PhaseSpec(
+                name="p2",
+                flops=self.BASE_FLOPS * scale,
+                dram_bytes=self.BASE_TRAFFIC * scale,
+                object_traffic={"solution-fields": 0.7, "element-operators": 0.3},
+                write_fraction=0.35,
+                mlp=5.5,
+                stream_fraction=0.72,
+                prefetch_accuracy_hint=0.9,
+                traffic_profile=TRAFFIC_PROFILE_FLAT,
+                duration_weight=0.85,
+            ),
+        )
+        return WorkloadSpec(
+            name=self.name,
+            input_label=label,
+            scale=scale,
+            objects=objects,
+            phases=phases,
+        )

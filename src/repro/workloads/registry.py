@@ -1,0 +1,81 @@
+"""Workload registry: the paper's Table 2 in executable form.
+
+The registry maps application names to their behavioural models and exposes
+the three input problems of each (1x, 2x, 4x memory footprints).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..config.errors import WorkloadError
+from .base import WorkloadModel, WorkloadSpec
+from .bfs import BFSModel
+from .hpl import HPLModel
+from .hypre import HypreModel
+from .nekrs import NekRSModel
+from .superlu import SuperLUModel
+from .xsbench import XSBenchModel
+
+#: The evaluated applications in the order the paper lists them (Table 2).
+WORKLOAD_MODELS: dict[str, type[WorkloadModel]] = {
+    "HPL": HPLModel,
+    "Hypre": HypreModel,
+    "NekRS": NekRSModel,
+    "BFS": BFSModel,
+    "SuperLU": SuperLUModel,
+    "XSBench": XSBenchModel,
+}
+
+#: Short aliases accepted by :func:`get_model` (the paper abbreviates XSBench as XS).
+ALIASES = {
+    "XS": "XSBench",
+    "Nek": "NekRS",
+    "LINPACK": "HPL",
+}
+
+
+def workload_names() -> tuple[str, ...]:
+    """Names of all evaluated applications."""
+    return tuple(WORKLOAD_MODELS)
+
+
+def get_model(name: str) -> WorkloadModel:
+    """Instantiate the behavioural model of one application by name."""
+    canonical = ALIASES.get(name, name)
+    try:
+        return WORKLOAD_MODELS[canonical]()
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOAD_MODELS)}"
+        ) from exc
+
+
+def all_models() -> list[WorkloadModel]:
+    """Instantiate every evaluated application model."""
+    return [cls() for cls in WORKLOAD_MODELS.values()]
+
+
+def build_workload(name: str, scale: float = 1.0) -> WorkloadSpec:
+    """Build one application at the given footprint scale (1, 2 or 4)."""
+    return get_model(name).build(scale)
+
+
+def build_all(scale: float = 1.0) -> list[WorkloadSpec]:
+    """Build every application at the given footprint scale."""
+    return [model.build(scale) for model in all_models()]
+
+
+def table2_rows() -> list[dict[str, str]]:
+    """The rows of the paper's Table 2 (application, description, inputs)."""
+    rows = []
+    for model in all_models():
+        rows.append(
+            {
+                "application": model.name,
+                "description": model.description,
+                "parallelization": model.parallelization,
+                "input_problems": "; ".join(model.input_labels),
+            }
+        )
+    return rows

@@ -1,0 +1,127 @@
+"""Behavioural model of XSBench (Monte Carlo neutron transport proxy).
+
+Table 2 uses the ``large`` problem with 2M particles and 11303, 22606 and
+45212 grid points.  Characteristics reproduced here:
+
+* XSBench allocates a very large unionised energy grid, but each particle
+  history only looks up a tiny, random subset of it — so only a small share
+  of the footprint is actively accessed (strongly skewed scaling curve,
+  Figure 6f) and the hot set fits comfortably in node-local memory.
+* As a consequence its remote access ratio stays below ~6% on every tier
+  configuration (Figure 9) and both its interference sensitivity and the
+  interference it induces are the lowest of all applications
+  (Figures 10 and 11).
+* The random lookups defeat the hardware prefetcher: lowest accuracy and <1%
+  coverage (Figure 8), yet the prefetcher throttles itself so the excessive
+  traffic stays around 3% — and because nothing is prefetched, the
+  application is highly sensitive to raw access *latency* (the paper's
+  argument for keeping its data out of the pool entirely).
+"""
+
+from __future__ import annotations
+
+from ..config.units import GB
+from ..memory.objects import MemoryObject
+from ..trace.patterns import HotColdPattern, RandomPattern, SequentialPattern
+from .base import (
+    PhaseSpec,
+    TRAFFIC_PROFILE_FLAT,
+    WorkloadModel,
+    WorkloadSpec,
+)
+
+
+class XSBenchModel(WorkloadModel):
+    """XSBench Monte Carlo macroscopic cross-section lookup proxy."""
+
+    name = "XSBench"
+    description = "Monte Carlo neutron transport proxy application."
+    parallelization = "MPI+OpenMP"
+    input_labels = (
+        "large 2M particles 11303 gridpoints",
+        "large 2M particles 22606 gridpoints",
+        "large 2M particles 45212 gridpoints",
+    )
+    input_scales = (1.0, 2.0, 4.0)
+
+    #: Unionised energy grid at scale 1 (the big, mostly-cold allocation).
+    BASE_GRID_BYTES = 3.4 * GB
+    #: Nuclide cross-section data at scale 1 (hot).
+    BASE_NUCLIDE_BYTES = 0.45 * GB
+    #: Index / lookup tables at scale 1 (hot).
+    BASE_INDEX_BYTES = 0.15 * GB
+    #: Lookup-phase flops at scale 1 (interpolation arithmetic).
+    BASE_FLOPS = 4.6e11
+    #: Lookup-phase DRAM traffic at scale 1.
+    BASE_TRAFFIC = 4.6e11
+
+    def build(self, scale: float = 1.0) -> WorkloadSpec:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        label = (
+            self.input_labels[self.input_scales.index(scale)]
+            if scale in self.input_scales
+            else f"x{scale:g}"
+        )
+        objects = (
+            MemoryObject(
+                name="nuclide-grids",
+                size_bytes=int(self.BASE_NUCLIDE_BYTES * scale),
+                pattern=HotColdPattern(hot_fraction=0.5, hot_traffic=0.85, stream_fraction=0.1),
+                allocation_site="generate_grids/nuclide",
+            ),
+            MemoryObject(
+                name="index-grid",
+                size_bytes=int(self.BASE_INDEX_BYTES * scale),
+                pattern=RandomPattern(stream_fraction=0.05),
+                allocation_site="generate_grids/index",
+            ),
+            MemoryObject(
+                name="unionized-grid",
+                size_bytes=int(self.BASE_GRID_BYTES * scale),
+                pattern=HotColdPattern(hot_fraction=0.06, hot_traffic=0.92, stream_fraction=0.05),
+                allocation_site="generate_grids/unionized",
+            ),
+        )
+        phases = (
+            PhaseSpec(
+                name="p1",
+                flops=2.0e9 * scale,
+                dram_bytes=1.5 * (self.BASE_GRID_BYTES + self.BASE_NUCLIDE_BYTES + self.BASE_INDEX_BYTES) * scale,
+                object_traffic={
+                    "nuclide-grids": 0.1,
+                    "index-grid": 0.05,
+                    "unionized-grid": 0.85,
+                },
+                write_fraction=0.6,
+                mlp=8.0,
+                stream_fraction=0.85,
+                traffic_profile=TRAFFIC_PROFILE_FLAT,
+                duration_weight=0.2,
+            ),
+            PhaseSpec(
+                name="p2",
+                flops=self.BASE_FLOPS * scale,
+                # Lookup traffic grows only mildly with the grid size: the
+                # number of particle histories is fixed at 2M.
+                dram_bytes=self.BASE_TRAFFIC * (1.0 + 0.15 * (scale - 1.0)),
+                object_traffic={
+                    "nuclide-grids": 0.45,
+                    "index-grid": 0.20,
+                    "unionized-grid": 0.35,
+                },
+                write_fraction=0.05,
+                mlp=2.0,
+                stream_fraction=0.008,
+                prefetch_accuracy_hint=0.40,
+                traffic_profile=TRAFFIC_PROFILE_FLAT,
+                duration_weight=0.8,
+            ),
+        )
+        return WorkloadSpec(
+            name=self.name,
+            input_label=label,
+            scale=scale,
+            objects=objects,
+            phases=phases,
+        )

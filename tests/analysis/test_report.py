@@ -1,0 +1,36 @@
+"""Tests for the measured-results report generator."""
+
+import pytest
+
+from repro.analysis.report import ALL_EXPERIMENTS, ReportSection, measured_report
+
+
+def test_report_section_markdown():
+    section = ReportSection("x", "Title", "body text")
+    md = section.as_markdown()
+    assert md.startswith("## Title")
+    assert "body text" in md
+
+
+def test_small_report_contains_selected_sections():
+    report = measured_report(experiments=("table1", "table2", "figure8"), seed=0)
+    assert report.startswith("# Measured results")
+    assert "## Table 1" in report
+    assert "## Table 2" in report
+    assert "## Figure 8" in report
+    assert "## Figure 13" not in report
+    assert "Frontier" in report
+    assert "XSBench" in report
+
+
+def test_report_rejects_unknown_experiment():
+    with pytest.raises(ValueError, match="unknown experiments"):
+        measured_report(experiments=("figure99",))
+
+
+def test_all_experiment_ids_have_builders():
+    # Smoke-check the cheap sections; expensive ones are covered by the
+    # figure-builder tests and the benchmark harness.
+    report = measured_report(experiments=("table1", "table2"), seed=0)
+    assert len(ALL_EXPERIMENTS) == 9
+    assert "DDR GB/node" in report

@@ -1,0 +1,56 @@
+"""Tests for the table builders."""
+
+import pytest
+
+from repro.analysis.tables import format_table, table1_memory_cost, table2_workloads
+from repro.models.cost import MemoryPriceModel
+
+
+def test_table1_rows_and_costs():
+    rows = table1_memory_cost()
+    assert len(rows) == 10
+    frontier = rows[0]
+    assert frontier["system"] == "Frontier"
+    assert frontier["est_ddr_cost_musd"] == pytest.approx(19.3, rel=0.05)
+    assert frontier["est_hbm_cost_musd_low"] < frontier["est_hbm_cost_musd_high"]
+    assert frontier["multi_tier"] is True
+    # Systems without HBM have zero HBM cost.
+    sunway = next(r for r in rows if "Sunway" in r["system"])
+    assert sunway["est_hbm_cost_musd_mid"] == 0.0
+
+
+def test_table1_custom_prices():
+    rows = table1_memory_cost(MemoryPriceModel(ddr_per_gb=8.0))
+    default_rows = table1_memory_cost()
+    assert rows[0]["est_ddr_cost_musd"] == pytest.approx(
+        2 * default_rows[0]["est_ddr_cost_musd"]
+    )
+
+
+def test_table2_rows_and_footprint_ratios():
+    rows = table2_workloads()
+    assert len(rows) == 6
+    for row in rows:
+        assert row["footprint_ratio"][0] == pytest.approx(1.0)
+        assert row["footprint_ratio"][1] == pytest.approx(2.0, rel=0.02)
+        assert row["footprint_ratio"][2] == pytest.approx(4.0, rel=0.02)
+    names = [row["application"] for row in rows]
+    assert names == ["HPL", "Hypre", "NekRS", "BFS", "SuperLU", "XSBench"]
+
+
+def test_format_table_renders_plain_text():
+    rows = [
+        {"a": 1, "b": "x", "c": 1.23456, "d": None, "e": True},
+        {"a": 22, "b": "yy", "c": 2.0, "d": "z", "e": False},
+    ]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, separator, two rows
+    assert "a" in lines[0] and "e" in lines[0]
+    assert "yes" in text and "-" in text
+
+
+def test_format_table_empty_and_column_selection():
+    assert format_table([]) == "(empty table)"
+    text = format_table([{"a": 1, "b": 2}], columns=["b"])
+    assert "a" not in text.splitlines()[0]

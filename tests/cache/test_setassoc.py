@@ -1,0 +1,94 @@
+"""Tests for the set-associative LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.config.testbed import CacheLevelConfig
+from repro.cache.setassoc import SetAssociativeCache
+
+
+def small_cache(capacity=64 * 64, assoc=4):
+    """A tiny cache: by default 64 lines, 4-way, 16 sets."""
+    return SetAssociativeCache(CacheLevelConfig("T", capacity, assoc))
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(42) is False
+        assert cache.access(42) is True
+        assert cache.lines_in == 1
+
+    def test_capacity_eviction_lru(self):
+        # Direct-mapped-ish: 1 set, 2 ways.
+        cache = SetAssociativeCache(CacheLevelConfig("T", 2 * 64, 2))
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)      # 0 becomes MRU
+        cache.access(2)      # evicts 1 (LRU)
+        assert cache.access(0) is True
+        assert cache.access(1) is False
+
+    def test_resident_lines_bounded(self):
+        cache = small_cache()
+        for line in range(1000):
+            cache.access(line)
+        assert cache.resident_lines <= cache.config.n_lines
+
+    def test_reset(self):
+        cache = small_cache()
+        cache.access(1)
+        cache.reset()
+        assert cache.resident_lines == 0
+        assert cache.lines_in == 0
+        assert cache.access(1) is False
+
+
+class TestPrefetchInteraction:
+    def test_prefetched_line_hit_marks_useful(self):
+        cache = small_cache()
+        cache.insert(7, prefetched=True)
+        assert cache.pending_prefetches == 1
+        assert cache.access(7) is True
+        assert cache.pending_prefetches == 0
+        assert cache.useless_prefetches == 0
+
+    def test_unused_prefetch_counted_on_eviction(self):
+        cache = SetAssociativeCache(CacheLevelConfig("T", 2 * 64, 2))
+        cache.insert(0, prefetched=True)
+        # Fill the set with demand lines mapping to set 0 until 0 is evicted.
+        cache.access(2)
+        cache.access(4)
+        cache.access(6)
+        assert cache.useless_prefetches >= 1
+
+    def test_prefetch_of_resident_line_is_noop(self):
+        cache = small_cache()
+        cache.access(3)
+        lines_before = cache.lines_in
+        cache.insert(3, prefetched=True)
+        assert cache.lines_in == lines_before
+
+
+class TestBulkRun:
+    def test_sequential_stream_mostly_misses_once(self):
+        cache = small_cache()
+        lines = np.arange(32)
+        result = cache.run(lines)
+        assert result.n_misses == 32
+        repeat = cache.run(lines)
+        assert repeat.n_hits == 32
+        assert repeat.hit_rate == pytest.approx(1.0)
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = small_cache()  # 64 lines
+        lines = np.tile(np.arange(256), 3)
+        result = cache.run(lines)
+        # With LRU and a cyclic pattern larger than capacity, reuse never hits.
+        assert result.hit_rate < 0.05
+
+    def test_hit_rate_of_empty_run(self):
+        cache = small_cache()
+        result = cache.run(np.array([], dtype=np.int64))
+        assert result.hit_rate == 0.0
+        assert result.miss_lines == 0

@@ -1,0 +1,87 @@
+"""Tests for the BFS data-placement case study (Section 7.1)."""
+
+import pytest
+
+from repro.casestudies.bfs_placement import (
+    BASELINE_ORDER,
+    BFSPlacementCaseStudy,
+    OPTIMIZED_ORDER,
+    baseline_spec,
+    optimized_spec,
+    reordered_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def study_result():
+    return BFSPlacementCaseStudy(scale=1.0, seed=0).run(
+        pool_fractions=(0.50, 0.75), with_sensitivity=True, loi_levels=(0.0, 50.0)
+    )
+
+
+class TestVariantSpecs:
+    def test_baseline_matches_model_order(self):
+        assert baseline_spec().object_names() == BASELINE_ORDER
+
+    def test_reordered_puts_parents_first(self):
+        assert reordered_spec().object_names() == OPTIMIZED_ORDER
+        assert reordered_spec().object_names()[0] == "parents"
+        assert reordered_spec().init_only_objects == ()
+
+    def test_optimized_also_frees_init_temp(self):
+        spec = optimized_spec()
+        assert spec.object_names() == OPTIMIZED_ORDER
+        assert spec.init_only_objects == ("init-temp",)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KeyError):
+            BFSPlacementCaseStudy().build_variant("turbo")
+
+
+class TestCaseStudyResults:
+    def test_all_cells_present(self, study_result):
+        assert len(study_result.variants) == 6
+        for config in ("50%-pooled", "75%-pooled"):
+            for variant in ("baseline", "reordered", "optimized"):
+                assert study_result.variant(variant, config) is not None
+        with pytest.raises(KeyError):
+            study_result.variant("baseline", "10%-pooled")
+
+    def test_remote_access_drops_with_each_optimisation(self, study_result):
+        """The paper's progression at 75% pooling: 99% -> 80% -> 50%."""
+        for config in ("50%-pooled", "75%-pooled"):
+            base = study_result.variant("baseline", config).remote_access_ratio
+            reordered = study_result.variant("reordered", config).remote_access_ratio
+            optimized = study_result.variant("optimized", config).remote_access_ratio
+            assert base > reordered > optimized
+
+    def test_baseline_remote_access_is_very_high_at_75_pooled(self, study_result):
+        assert study_result.variant("baseline", "75%-pooled").remote_access_ratio > 0.8
+
+    def test_optimized_halves_remote_access(self, study_result):
+        reduction = study_result.remote_access_reduction("75%-pooled", "optimized")
+        assert reduction > 0.4
+
+    def test_optimisations_speed_up_the_run(self, study_result):
+        for config in ("50%-pooled", "75%-pooled"):
+            assert study_result.speedup(config, "reordered") > 0.0
+            assert study_result.speedup(config, "optimized") > study_result.speedup(
+                config, "reordered"
+            ) * 0.99
+
+    def test_remote_bytes_drop(self, study_result):
+        base = study_result.variant("baseline", "75%-pooled").remote_bytes
+        opt = study_result.variant("optimized", "75%-pooled").remote_bytes
+        assert opt < base
+
+    def test_optimized_version_is_less_interference_sensitive(self, study_result):
+        """Figure 12 right: the optimised placement reduces sensitivity."""
+        for config in ("50%-pooled", "75%-pooled"):
+            base = study_result.variant("baseline", config).sensitivity
+            opt = study_result.variant("optimized", config).sensitivity
+            assert opt.max_performance_loss <= base.max_performance_loss + 1e-9
+
+    def test_summary_rows_shape(self, study_result):
+        rows = study_result.summary_rows()
+        assert len(rows) == 6
+        assert {"variant", "config", "runtime_s", "remote_access_ratio"} <= set(rows[0])

@@ -1,0 +1,55 @@
+"""Tests for the interference-aware scheduling case study (Section 7.2)."""
+
+import pytest
+
+from repro.casestudies.scheduling import SchedulingCaseStudy
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    """A reduced-run-count study over two contrasting workloads."""
+    study = SchedulingCaseStudy(local_fraction=0.50, n_runs=25, seed=0)
+    specs = [build_workload("Hypre", 1.0), build_workload("XSBench", 1.0)]
+    return study.run(specs)
+
+
+def test_job_profile_construction():
+    study = SchedulingCaseStudy(n_runs=5, seed=0)
+    spec = build_workload("Hypre", 1.0)
+    profile = study.job_profile_of(spec)
+    assert profile.workload == "Hypre"
+    assert profile.baseline_runtime > 0
+    assert profile.sensitivity is not None
+    assert profile.pool_gb == pytest.approx(spec.footprint_bytes * 0.5 / 1e9, rel=1e-6)
+
+
+def test_sensitive_workload_benefits_from_awareness(small_study):
+    hypre = small_study.result("Hypre")
+    assert hypre.mean_speedup > 0.0
+    assert hypre.p75_reduction > 0.0
+    assert hypre.baseline.mean > hypre.aware.mean
+
+
+def test_insensitive_workload_sees_little_benefit(small_study):
+    xs = small_study.result("XSBench")
+    assert xs.mean_speedup < 0.01
+    assert abs(xs.p75_reduction) < 0.01
+
+
+def test_sensitive_beats_insensitive(small_study):
+    assert small_study.result("Hypre").mean_speedup > small_study.result("XSBench").mean_speedup
+    assert small_study.most_improved() == "Hypre"
+    assert set(small_study.speedups()) == {"Hypre", "XSBench"}
+
+
+def test_summary_structure(small_study):
+    summary = small_study.result("Hypre").summary()
+    assert summary["workload"] == "Hypre"
+    assert set(summary["baseline"]) == {"min", "q1", "median", "q3", "max"}
+    assert summary["baseline"]["q3"] >= summary["interference_aware"]["q3"]
+
+
+def test_unknown_workload_lookup(small_study):
+    with pytest.raises(KeyError):
+        small_study.result("NAMD")

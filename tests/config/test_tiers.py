@@ -1,0 +1,115 @@
+"""Tests for tiered-memory configurations."""
+
+import pytest
+
+from repro.config import (
+    ConfigurationError,
+    PAPER_CAPACITY_FRACTIONS,
+    SKYLAKE_EMULATION,
+    TierSpec,
+    TieredMemoryConfig,
+    capacity_ratio_config,
+    paper_tier_configs,
+    single_tier_config,
+    two_tier_config,
+)
+from repro.config.units import GiB
+
+
+class TestTierSpec:
+    def test_valid(self):
+        tier = TierSpec("local", 8 * GiB, 73e9, 111e-9)
+        assert tier.capacity_bytes == 8 * GiB
+        assert not tier.pooled
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            TierSpec("bad", -1, 73e9, 111e-9)
+        with pytest.raises(ConfigurationError):
+            TierSpec("bad", 1, 0.0, 111e-9)
+        with pytest.raises(ConfigurationError):
+            TierSpec("bad", 1, 73e9, 0.0)
+
+
+class TestTieredMemoryConfig:
+    def test_two_tier_reference_points(self):
+        config = two_tier_config(3 * GiB, 1 * GiB)
+        assert config.n_tiers == 2
+        assert config.remote_capacity_ratio == pytest.approx(0.25)
+        assert config.remote_bandwidth_ratio == pytest.approx(34.0 / 107.0)
+        assert config.total_capacity == 4 * GiB
+        assert config.remote.pooled and not config.local.pooled
+
+    def test_capacity_ratios_sum_to_one(self):
+        config = two_tier_config(5 * GiB, 3 * GiB)
+        assert sum(config.capacity_ratios) == pytest.approx(1.0)
+        assert sum(config.bandwidth_ratios) == pytest.approx(1.0)
+
+    def test_tiers_must_be_fastest_first(self):
+        with pytest.raises(ConfigurationError):
+            TieredMemoryConfig(
+                tiers=(
+                    TierSpec("slow", GiB, 10e9, 200e-9),
+                    TierSpec("fast", GiB, 70e9, 100e-9),
+                )
+            )
+
+    def test_needs_at_least_one_tier(self):
+        with pytest.raises(ConfigurationError):
+            TieredMemoryConfig(tiers=())
+
+    def test_describe(self):
+        config = two_tier_config(GiB, GiB)
+        described = config.describe()
+        assert len(described["tiers"]) == 2
+        assert described["remote_capacity_ratio"] == pytest.approx(0.5, abs=1e-6)
+
+
+class TestCapacityRatioConfig:
+    @pytest.mark.parametrize("fraction", PAPER_CAPACITY_FRACTIONS)
+    def test_local_fraction_respected(self, fraction):
+        footprint = 4 * GiB
+        config = capacity_ratio_config(footprint, fraction)
+        assert config.local.capacity_bytes == pytest.approx(footprint * fraction, rel=0.01)
+        # The pool holds the remainder plus slack.
+        assert config.remote.capacity_bytes >= footprint * (1 - fraction)
+
+    def test_total_capacity_holds_footprint(self):
+        footprint = 4 * GiB
+        for fraction in PAPER_CAPACITY_FRACTIONS:
+            config = capacity_ratio_config(footprint, fraction)
+            assert config.total_capacity >= footprint
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            capacity_ratio_config(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            capacity_ratio_config(GiB, 0.0)
+        with pytest.raises(ConfigurationError):
+            capacity_ratio_config(GiB, 1.5)
+        with pytest.raises(ConfigurationError):
+            capacity_ratio_config(GiB, 0.5, headroom=0.5)
+
+    def test_full_local_fraction_keeps_remote_tier(self):
+        config = capacity_ratio_config(GiB, 1.0)
+        assert config.n_tiers == 2
+        assert config.remote.capacity_bytes > 0
+
+
+def test_paper_tier_configs_labels():
+    configs = paper_tier_configs(4 * GiB)
+    assert set(configs) == {"75-25", "50-50", "25-75"}
+    # Remote capacity ratio grows as the local fraction shrinks.
+    assert (
+        configs["75-25"].remote_capacity_ratio
+        < configs["50-50"].remote_capacity_ratio
+        < configs["25-75"].remote_capacity_ratio
+    )
+
+
+def test_single_tier_config():
+    config = single_tier_config(2 * GiB)
+    assert config.n_tiers == 1
+    assert config.remote_capacity_ratio == 0.0
+    assert config.remote_bandwidth_ratio == 0.0
+    assert config.local.bandwidth == SKYLAKE_EMULATION.local_bandwidth

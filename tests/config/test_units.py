@@ -1,0 +1,47 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.config import units
+
+
+def test_si_and_iec_prefixes_differ():
+    assert units.GB == 10**9
+    assert units.GiB == 2**30
+    assert units.GiB > units.GB
+
+
+def test_gb_round_trip():
+    assert units.bytes_to_gb(units.gb(34.0)) == pytest.approx(34.0)
+    assert units.bytes_to_gib(units.gib(512)) == pytest.approx(512)
+
+
+def test_time_and_rate_helpers():
+    assert units.ns(111) == pytest.approx(111e-9)
+    assert units.seconds_to_ns(units.ns(202)) == pytest.approx(202)
+    assert units.gflops(1100) == pytest.approx(1.1e12)
+    assert units.gb_per_s(73) == pytest.approx(73e9)
+
+
+def test_pages_for_rounds_up():
+    assert units.pages_for(1) == 1
+    assert units.pages_for(units.PAGE_BYTES) == 1
+    assert units.pages_for(units.PAGE_BYTES + 1) == 2
+    assert units.pages_for(10 * units.PAGE_BYTES) == 10
+
+
+def test_pages_for_zero_and_negative():
+    assert units.pages_for(0) == 0
+    assert units.pages_for(-5) == 0
+
+
+def test_cachelines_for():
+    assert units.cachelines_for(0) == 0
+    assert units.cachelines_for(1) == 1
+    assert units.cachelines_for(64) == 1
+    assert units.cachelines_for(65) == 2
+    assert units.cachelines_for(units.PAGE_BYTES) == units.PAGE_BYTES // 64
+
+
+def test_page_is_multiple_of_cacheline():
+    assert units.PAGE_BYTES % units.CACHELINE_BYTES == 0

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SKYLAKE_EMULATION
+from repro.sim import ExecutionEngine, Platform
+from repro.workloads import build_workload, workload_names
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The default emulation platform description."""
+    return SKYLAKE_EMULATION
+
+
+@pytest.fixture(scope="session")
+def all_workload_names():
+    """Names of the six evaluated applications."""
+    return workload_names()
+
+
+@pytest.fixture(scope="session")
+def hypre_spec():
+    """Hypre at the first input problem (memory-bound, uniform access)."""
+    return build_workload("Hypre", 1.0)
+
+
+@pytest.fixture(scope="session")
+def xsbench_spec():
+    """XSBench at the first input problem (latency-bound, skewed access)."""
+    return build_workload("XSBench", 1.0)
+
+
+@pytest.fixture(scope="session")
+def bfs_spec():
+    """BFS at the first input problem (dynamic allocations, skewed access)."""
+    return build_workload("BFS", 1.0)
+
+
+@pytest.fixture(scope="session")
+def hpl_spec():
+    """HPL at the first input problem (compute-bound)."""
+    return build_workload("HPL", 1.0)
+
+
+@pytest.fixture(scope="session")
+def local_platform():
+    """A local-only (single-tier) platform."""
+    return Platform.local_only()
+
+
+@pytest.fixture(scope="session")
+def pooled_platform_50(hypre_spec):
+    """A 50-50 pooled platform sized for the Hypre footprint."""
+    return Platform.pooled(hypre_spec.footprint_bytes, 0.50)
+
+
+@pytest.fixture(scope="session")
+def local_engine(local_platform):
+    """An execution engine on the local-only platform."""
+    return ExecutionEngine(local_platform, seed=0)
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic NumPy random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def session_rng():
+    """A session-scoped deterministic generator for expensive fixtures."""
+    return np.random.default_rng(42)

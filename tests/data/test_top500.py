@@ -1,0 +1,71 @@
+"""Tests for the Top-500 memory-configuration dataset."""
+
+import pytest
+
+from repro.data.top500 import (
+    MEMORY_EVOLUTION,
+    TOP10_NOV2022,
+    memory_evolution,
+    multi_tier_share,
+    system,
+    top10_systems,
+)
+from repro.models.cost import MemoryPriceModel
+
+
+def test_table1_has_ten_systems_in_rank_order():
+    systems = top10_systems()
+    assert len(systems) == 10
+    assert [s.rank for s in systems] == list(range(1, 11))
+    assert systems[0].name == "Frontier"
+
+
+def test_frontier_row_matches_paper():
+    frontier = system("Frontier")
+    assert frontier.ddr_gb_per_node == 512
+    assert frontier.hbm_gb_per_node == 512
+    assert frontier.nodes == 9408
+    assert frontier.hbm_bandwidth_tbs_per_node == pytest.approx(12.8)
+    # Paper's estimates: ~$34M DDR, ~$135M HBM (we match the order of magnitude).
+    assert frontier.estimated_ddr_cost() == pytest.approx(34e6, rel=0.45)
+    assert frontier.estimated_hbm_cost() == pytest.approx(135e6, rel=0.45)
+
+
+def test_fugaku_has_no_ddr_tier():
+    fugaku = system("Fugaku")
+    assert fugaku.ddr_gb_per_node is None
+    assert fugaku.estimated_ddr_cost() == 0.0
+    assert fugaku.has_hbm and not fugaku.has_multi_tier_memory
+
+
+def test_multi_tier_share_is_majority():
+    # The paper: 8 of the top 10 use HBM-based multi-tier memory.
+    assert multi_tier_share() == pytest.approx(0.8)
+
+
+def test_lookup_is_case_insensitive_prefix():
+    assert system("fron").name == "Frontier"
+    with pytest.raises(KeyError):
+        system("DeepBlue")
+
+
+def test_cost_scales_with_price_model():
+    cheap = MemoryPriceModel(ddr_per_gb=1.0)
+    expensive = MemoryPriceModel(ddr_per_gb=8.0)
+    frontier = system("Frontier")
+    assert frontier.estimated_ddr_cost(expensive) == pytest.approx(
+        8 * frontier.estimated_ddr_cost(cheap)
+    )
+
+
+def test_memory_evolution_series():
+    points = memory_evolution()
+    assert len(points) >= 8
+    years = [p.year for p in points]
+    assert years == sorted(years)
+    # Capacity and bandwidth per node grew dramatically over 15 years.
+    assert points[-1].memory_gb_per_node > 10 * points[0].memory_gb_per_node
+    assert points[-1].memory_bandwidth_gbs_per_node > 10 * points[0].memory_bandwidth_gbs_per_node
+    for p in points:
+        assert p.bandwidth_per_core_gbs >= 0
+        assert p.capacity_per_core_gb >= 0

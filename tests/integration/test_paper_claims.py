@@ -1,0 +1,121 @@
+"""Integration tests: the paper's headline qualitative claims.
+
+Each test corresponds to a conclusion the paper draws from its evaluation.
+These are the assertions that must keep holding for the reproduction to be
+faithful in *shape*, regardless of absolute numbers.
+"""
+
+import pytest
+
+from repro.profiler.level1 import Level1Profiler
+from repro.profiler.level2 import Level2Profiler
+from repro.profiler.level3 import Level3Profiler
+from repro.sim import ConstantInterference, ExecutionEngine, Platform
+from repro.workloads import build_all, build_workload
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return {spec.name: spec for spec in build_all(1.0)}
+
+
+@pytest.fixture(scope="module")
+def prefetch_reports(specs):
+    profiler = Level1Profiler(seed=0)
+    return {name: profiler.profile(spec).prefetch for name, spec in specs.items()}
+
+
+@pytest.fixture(scope="module")
+def sensitivity_50(specs):
+    profiler = Level3Profiler(seed=0)
+    losses = {}
+    for name, spec in specs.items():
+        platform = Platform.pooled(spec.footprint_bytes, 0.50)
+        curve = profiler.sensitivity(spec, platform, (0.0, 50.0))
+        losses[name] = curve.max_performance_loss
+    return losses
+
+
+class TestSection4WorkloadCharacterisation:
+    def test_prefetching_is_suitable_for_scientific_workloads(self, prefetch_reports):
+        """Unlike cloud workloads, most HPC codes show high accuracy and real gains."""
+        high_accuracy = [r for r in prefetch_reports.values() if r.accuracy > 0.8]
+        assert len(high_accuracy) >= 3
+        gains = [r.performance_gain for r in prefetch_reports.values()]
+        assert max(gains) > 0.3  # NekRS-class gains exist
+
+    def test_nekrs_gains_most_and_superlu_wastes_most_traffic(self, prefetch_reports):
+        assert max(prefetch_reports, key=lambda n: prefetch_reports[n].performance_gain) == "NekRS"
+        assert max(prefetch_reports, key=lambda n: prefetch_reports[n].excess_traffic) == "SuperLU"
+
+    def test_xsbench_prefetcher_backs_off(self, prefetch_reports):
+        """Lowest coverage, yet very little wasted traffic (the prefetcher throttles)."""
+        xs = prefetch_reports["XSBench"]
+        assert xs.coverage < 0.05
+        assert xs.excess_traffic < 0.05
+
+
+class TestSection5MultiTier:
+    def test_uniform_codes_follow_capacity_ratio_and_xsbench_does_not(self, specs):
+        profiler = Level2Profiler(seed=0)
+        for fraction in (0.75, 0.25):
+            hpl = profiler.profile(
+                specs["HPL"], Platform.pooled(specs["HPL"].footprint_bytes, fraction)
+            )
+            xs = profiler.profile(
+                specs["XSBench"], Platform.pooled(specs["XSBench"].footprint_bytes, fraction)
+            )
+            assert hpl.phase_report("p2").remote_access_ratio == pytest.approx(
+                1 - fraction, abs=0.12
+            )
+            assert xs.phase_report("p2").remote_access_ratio < 0.10
+
+
+class TestSection6Interference:
+    def test_hypre_and_nekrs_are_most_sensitive(self, sensitivity_50):
+        most_sensitive = sorted(sensitivity_50, key=sensitivity_50.get, reverse=True)[:3]
+        assert "Hypre" in most_sensitive
+        assert "NekRS" in most_sensitive
+
+    def test_hpl_and_xsbench_are_least_sensitive(self, sensitivity_50):
+        least = sorted(sensitivity_50, key=sensitivity_50.get)[:2]
+        assert set(least) == {"HPL", "XSBench"}
+        assert sensitivity_50["HPL"] < 0.05
+        assert sensitivity_50["XSBench"] < 0.05
+
+    def test_sensitivity_needs_remote_access_and_low_intensity(self, specs, sensitivity_50):
+        """HPL has lots of remote access but high AI -> insensitive; XSBench has
+        low remote access -> insensitive; Hypre has both risk factors -> sensitive."""
+        assert sensitivity_50["Hypre"] > 5 * max(sensitivity_50["HPL"], 1e-4)
+
+    def test_interference_coefficients_track_pool_traffic(self, specs):
+        profiler = Level3Profiler(seed=0)
+        reports = profiler.interference_coefficients(
+            [specs["Hypre"], specs["NekRS"], specs["HPL"], specs["XSBench"]], 0.50
+        )
+        ics = {name: r.interference_coefficient for name, r in reports.items()}
+        assert min(ics["Hypre"], ics["NekRS"]) > max(ics["HPL"], ics["XSBench"])
+
+
+class TestMisconceptions:
+    def test_extra_tier_increases_usable_bandwidth(self, specs):
+        """Misconception 1: multi-tier memory does not necessarily lower bandwidth."""
+        spec = specs["Hypre"]
+        local = ExecutionEngine(Platform.local_only(), seed=0).run(spec)
+        # A generous pool (90% local / plenty of remote) lets both tiers stream.
+        platform = Platform.explicit(
+            int(spec.footprint_bytes * 0.7), int(spec.footprint_bytes), label="split"
+        )
+        pooled = ExecutionEngine(platform, seed=0).run(spec)
+        local_bw = local.total_dram_bytes / local.total_runtime
+        pooled_bw = pooled.total_dram_bytes / pooled.total_runtime
+        assert pooled_bw > local_bw * 0.95
+
+    def test_interference_free_pooling_does_not_ruin_compute_bound_codes(self, specs):
+        """Misconception 2: performance is not always badly degraded."""
+        spec = specs["HPL"]
+        local = ExecutionEngine(Platform.local_only(), seed=0).run(spec)
+        pooled = ExecutionEngine(
+            Platform.pooled(spec.footprint_bytes, 0.50), seed=0
+        ).run(spec)
+        assert pooled.total_runtime < local.total_runtime * 1.10

@@ -1,0 +1,83 @@
+"""Tests for the queueing-based contention models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.interconnect.queueing import (
+    LinearQueueingModel,
+    MD1QueueingModel,
+    MM1QueueingModel,
+    QUEUEING_MODELS,
+    make_queueing_model,
+)
+
+SERVICE = 202e-9
+MODELS = [MM1QueueingModel(), MD1QueueingModel(), LinearQueueingModel()]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+class TestCommonBehaviour:
+    def test_zero_utilisation_means_no_wait(self, model):
+        assert model.waiting_time(0.0, SERVICE) == 0.0
+
+    def test_wait_monotone_in_utilisation(self, model):
+        waits = [model.waiting_time(rho, SERVICE) for rho in (0.1, 0.3, 0.5, 0.7, 0.9, 1.2, 2.0)]
+        assert all(b >= a - 1e-15 for a, b in zip(waits, waits[1:]))
+
+    def test_wait_bounded_by_max_factor(self, model):
+        assert model.waiting_time(50.0, SERVICE) <= model.max_wait_factor * SERVICE + 1e-15
+
+    def test_zero_service_time(self, model):
+        assert model.waiting_time(0.8, 0.0) == 0.0
+
+    def test_negative_inputs_handled(self, model):
+        assert model.waiting_time(-1.0, SERVICE) == 0.0
+
+
+def test_mm1_exceeds_md1_below_saturation():
+    mm1 = MM1QueueingModel()
+    md1 = MD1QueueingModel()
+    for rho in (0.2, 0.4, 0.6, 0.8):
+        assert mm1.waiting_time(rho, SERVICE) >= md1.waiting_time(rho, SERVICE)
+
+
+def test_mm1_matches_closed_form_at_low_load():
+    model = MM1QueueingModel()
+    rho = 0.4
+    assert model.waiting_time(rho, SERVICE) == pytest.approx(rho / (1 - rho) * SERVICE)
+
+
+def test_md1_matches_closed_form_at_low_load():
+    model = MD1QueueingModel()
+    rho = 0.4
+    assert model.waiting_time(rho, SERVICE) == pytest.approx(rho / (2 * (1 - rho)) * SERVICE)
+
+
+def test_overload_regime_keeps_growing_until_cap():
+    model = MM1QueueingModel(max_wait_factor=100.0)
+    w1 = model.waiting_time(1.0, SERVICE)
+    w2 = model.waiting_time(1.5, SERVICE)
+    w3 = model.waiting_time(3.0, SERVICE)
+    assert w1 < w2 < w3
+
+
+def test_registry_and_factory():
+    assert set(QUEUEING_MODELS) == {"mm1", "md1", "linear"}
+    model = make_queueing_model("md1", rho_cap=0.9)
+    assert isinstance(model, MD1QueueingModel)
+    assert model.rho_cap == 0.9
+    with pytest.raises(ValueError):
+        make_queueing_model("gg1")
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    rho=st.floats(min_value=0.0, max_value=10.0),
+    service=st.floats(min_value=1e-9, max_value=1e-5),
+    name=st.sampled_from(sorted(QUEUEING_MODELS)),
+)
+def test_waiting_time_always_finite_nonnegative_and_capped(rho, service, name):
+    model = make_queueing_model(name)
+    wait = model.waiting_time(rho, service)
+    assert wait >= 0.0
+    assert wait <= model.max_wait_factor * service + 1e-12

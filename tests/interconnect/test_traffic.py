@@ -1,0 +1,64 @@
+"""Tests for the PCM-style traffic recorder."""
+
+import pytest
+
+from repro.cache import events
+from repro.config import SKYLAKE_EMULATION
+from repro.interconnect.link import RemoteLink
+from repro.interconnect.traffic import TrafficRecorder
+
+
+@pytest.fixture()
+def recorder():
+    return TrafficRecorder(RemoteLink(SKYLAKE_EMULATION))
+
+
+def test_record_accumulates_time_and_traffic(recorder):
+    recorder.record(duration=1.0, data_bytes=10e9)
+    recorder.record(duration=2.0, data_bytes=40e9, background_bytes=10e9)
+    assert recorder.elapsed == pytest.approx(3.0)
+    assert recorder.total_data_bytes() == pytest.approx(50e9)
+    assert len(recorder.samples) == 2
+
+
+def test_measured_traffic_saturates(recorder):
+    # Offered load far beyond the link peak: the counter caps at peak * duration.
+    sample = recorder.record(duration=1.0, data_bytes=500e9)
+    assert sample.measured_traffic_bytes == pytest.approx(SKYLAKE_EMULATION.link_peak_traffic)
+    assert sample.utilization > 1.0
+
+
+def test_sample_bandwidth_properties(recorder):
+    sample = recorder.record(duration=2.0, data_bytes=20e9, background_bytes=4e9)
+    assert sample.offered_bandwidth == pytest.approx(12e9)
+    assert sample.measured_bandwidth == pytest.approx(
+        min(12e9 * SKYLAKE_EMULATION.link_protocol_overhead, SKYLAKE_EMULATION.link_peak_traffic)
+    )
+
+
+def test_zero_duration_sample(recorder):
+    sample = recorder.record(duration=0.0, data_bytes=1e9)
+    assert sample.measured_traffic_bytes == 0.0
+    assert sample.offered_bandwidth == 0.0
+
+
+def test_aggregates_and_counters(recorder):
+    recorder.record(1.0, 10e9)
+    recorder.record(1.0, 60e9)
+    counters = recorder.counters()
+    assert counters[events.UPI_TRAFFIC_BYTES] == pytest.approx(recorder.total_measured_traffic())
+    assert 0.0 < counters[events.UPI_UTILIZATION]
+    assert recorder.peak_measured_bandwidth() >= 10e9
+    assert 0.0 < recorder.average_utilization()
+
+
+def test_timeline_and_clear(recorder):
+    recorder.record(1.0, 5e9)
+    recorder.record(2.0, 15e9)
+    times, bandwidth = recorder.timeline()
+    assert list(times) == [0.0, 1.0]
+    assert len(bandwidth) == 2
+    recorder.clear()
+    assert recorder.elapsed == 0.0
+    assert recorder.samples == ()
+    assert recorder.average_utilization() == 0.0

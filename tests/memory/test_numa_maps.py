@@ -1,0 +1,77 @@
+"""Tests for the numa_maps sampling layer."""
+
+import pytest
+
+from repro.config.tiers import two_tier_config
+from repro.memory.numa_maps import NumaMapsSampler
+from repro.memory.objects import AddressSpace, MemoryObject
+from repro.memory.tiered import TieredMemory
+
+PAGE = 4096
+
+
+def setup_memory():
+    space = AddressSpace(page_bytes=PAGE, line_bytes=64)
+    a = MemoryObject(name="hot", size_bytes=2 * PAGE)
+    b = MemoryObject(name="cold", size_bytes=6 * PAGE)
+    space.register_all([a, b])
+    memory = TieredMemory(two_tier_config(4 * PAGE, 8 * PAGE), space)
+    return space, memory, a, b
+
+
+def test_snapshot_reflects_placement():
+    _, memory, a, b = setup_memory()
+    sampler = NumaMapsSampler(memory)
+    memory.touch(a)
+    snap1 = sampler.sample(timestamp=0.0)
+    assert snap1.rss_bytes == 2 * PAGE
+    assert snap1.entry_for("hot").pages_per_tier == (2, 0)
+    assert snap1.entry_for("cold").resident_pages == 0
+
+    memory.touch(b)
+    snap2 = sampler.sample(timestamp=1.0)
+    assert snap2.rss_bytes == 8 * PAGE
+    # cold spills: 2 pages fit locally after hot, 4 go remote.
+    assert snap2.entry_for("cold").pages_per_tier == (2, 4)
+    assert snap2.remote_capacity_ratio() == pytest.approx(4 / 8)
+
+
+def test_entry_tier_fraction_and_lookup_errors():
+    _, memory, a, b = setup_memory()
+    sampler = NumaMapsSampler(memory)
+    memory.touch_in_order([a, b])
+    snap = sampler.sample(0.0)
+    assert snap.entry_for("cold").tier_fraction(1) == pytest.approx(4 / 6)
+    with pytest.raises(KeyError):
+        snap.entry_for("unknown")
+
+
+def test_timelines_and_peak_rss():
+    _, memory, a, b = setup_memory()
+    sampler = NumaMapsSampler(memory)
+    memory.touch(a)
+    sampler.sample(0.0)
+    memory.touch(b)
+    sampler.sample(5.0)
+    memory.free(b)
+    sampler.sample(9.0)
+
+    times, rss = sampler.rss_timeline()
+    assert list(times) == [0.0, 5.0, 9.0]
+    assert rss[1] == sampler.peak_rss_bytes() == 8 * PAGE
+    assert rss[2] == 2 * PAGE
+
+    _, local = sampler.tier_timeline(0)
+    assert local[0] == 2 * PAGE
+
+    sampler.clear()
+    assert sampler.snapshots == ()
+    assert sampler.peak_rss_bytes() == 0
+
+
+def test_empty_snapshot_ratio():
+    _, memory, a, b = setup_memory()
+    sampler = NumaMapsSampler(memory)
+    snap = sampler.sample(0.0)
+    assert snap.remote_capacity_ratio() == 0.0
+    assert snap.n_tiers == 2

@@ -1,0 +1,100 @@
+"""Tests for memory objects and the virtual address space."""
+
+import numpy as np
+import pytest
+
+from repro.config.errors import AllocationError
+from repro.memory.objects import (
+    AddressSpace,
+    MemoryObject,
+    PLACEMENT_FIRST_TOUCH,
+    PLACEMENT_LOCAL,
+)
+from repro.trace.patterns import SequentialPattern
+
+
+def make_object(name="obj", size=4096 * 10, **kwargs):
+    return MemoryObject(name=name, size_bytes=size, pattern=SequentialPattern(), **kwargs)
+
+
+class TestMemoryObject:
+    def test_defaults(self):
+        obj = make_object()
+        assert obj.placement == PLACEMENT_FIRST_TOUCH
+        assert not obj.registered
+
+    def test_invalid_size(self):
+        with pytest.raises(AllocationError):
+            make_object(size=0)
+
+    def test_invalid_placement(self):
+        with pytest.raises(AllocationError):
+            make_object(placement="somewhere")
+
+    def test_page_range_requires_registration(self):
+        obj = make_object()
+        with pytest.raises(AllocationError):
+            obj.page_range()
+        with pytest.raises(AllocationError):
+            _ = obj.last_page
+
+
+class TestAddressSpace:
+    def test_layout_is_contiguous_in_allocation_order(self):
+        space = AddressSpace(page_bytes=4096, line_bytes=64)
+        a = space.register(make_object("a", 4096 * 3))
+        b = space.register(make_object("b", 4096 * 2 + 1))
+        assert a.first_page == 0 and a.n_pages == 3
+        assert b.first_page == 3 and b.n_pages == 3  # rounded up
+        assert space.total_pages == 6
+        assert space.total_bytes == a.size_bytes + b.size_bytes
+
+    def test_double_registration_rejected(self):
+        space = AddressSpace()
+        obj = space.register(make_object())
+        with pytest.raises(AllocationError):
+            space.register(obj)
+
+    def test_lookup_by_name_and_id(self):
+        space = AddressSpace()
+        a = space.register(make_object("alpha"))
+        assert space.get("alpha") is a
+        assert space.by_id(a.object_id) is a
+        with pytest.raises(KeyError):
+            space.get("missing")
+        with pytest.raises(KeyError):
+            space.by_id(99)
+
+    def test_object_of_page(self):
+        space = AddressSpace(page_bytes=4096)
+        a = space.register(make_object("a", 4096 * 2))
+        b = space.register(make_object("b", 4096 * 2))
+        assert space.object_of_page(0) is a
+        assert space.object_of_page(2) is b
+        assert space.object_of_page(10) is None
+
+    def test_page_object_ids(self):
+        space = AddressSpace(page_bytes=4096)
+        a = space.register(make_object("a", 4096 * 2))
+        b = space.register(make_object("b", 4096))
+        ids = space.page_object_ids()
+        np.testing.assert_array_equal(ids, [a.object_id, a.object_id, b.object_id])
+
+    def test_line_range(self):
+        space = AddressSpace(page_bytes=4096, line_bytes=64)
+        a = space.register(make_object("a", 4096))
+        start, end = a.line_range(space.lines_per_page)
+        assert start == 0 and end == 64
+        assert a.n_lines(space.lines_per_page) == 64
+
+    def test_invalid_geometry(self):
+        with pytest.raises(AllocationError):
+            AddressSpace(page_bytes=4096, line_bytes=100)
+        with pytest.raises(AllocationError):
+            AddressSpace(page_bytes=0)
+
+    def test_iteration_and_len(self):
+        space = AddressSpace()
+        space.register_all([make_object("a"), make_object("b", placement=PLACEMENT_LOCAL)])
+        assert len(space) == 2
+        assert [o.name for o in space] == ["a", "b"]

@@ -1,0 +1,85 @@
+"""Tests for the deployment-planning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.config.errors import ConfigurationError
+from repro.models.capacity_planning import (
+    NodeResources,
+    compare_plans,
+    minimum_nodes_for_capacity,
+    nodes_for_bandwidth,
+    plan_local_only,
+    plan_with_pool,
+)
+from repro.trace.footprint import scaling_curve_from_counts
+
+
+NODE = NodeResources(
+    memory_gb=256.0,
+    memory_bandwidth_gbs=73.0,
+    pool_gb_available=512.0,
+    pool_bandwidth_gbs=34.0,
+)
+
+
+def test_minimum_nodes_for_capacity():
+    assert minimum_nodes_for_capacity(1000.0, NODE) == 4
+    assert minimum_nodes_for_capacity(256.0, NODE) == 1
+    with pytest.raises(ConfigurationError):
+        minimum_nodes_for_capacity(0.0, NODE)
+
+
+def test_nodes_for_bandwidth():
+    assert nodes_for_bandwidth(7300.0, 10.0, NODE) == 10
+    with pytest.raises(ConfigurationError):
+        nodes_for_bandwidth(100.0, 0.0, NODE)
+
+
+def test_plan_local_only():
+    plan = plan_local_only(1000.0, NODE)
+    assert plan.nodes == 4
+    assert not plan.uses_pool
+    assert plan.expected_remote_access_ratio == 0.0
+    assert "node-local" in plan.description
+
+
+def test_plan_with_pool_uniform_access():
+    plan = plan_with_pool(1000.0, NODE, nodes=2)
+    assert plan.uses_pool
+    assert plan.pool_gb_per_node == pytest.approx(244.0)
+    # Uniform fallback: remote ratio == capacity overflow fraction.
+    assert plan.expected_remote_access_ratio == pytest.approx(1 - 256 / 500, rel=1e-6)
+    assert "pool" in plan.description
+
+
+def test_plan_with_pool_uses_scaling_curve():
+    # A skewed application: the hot half of the footprint gets ~all accesses.
+    counts = np.concatenate([np.full(500, 100.0), np.full(500, 1.0)])
+    curve = scaling_curve_from_counts(counts)
+    plan = plan_with_pool(1000.0, NODE, nodes=2, scaling_curve=curve)
+    uniform = plan_with_pool(1000.0, NODE, nodes=2)
+    assert plan.expected_remote_access_ratio < uniform.expected_remote_access_ratio
+
+
+def test_plan_with_pool_validation():
+    with pytest.raises(ConfigurationError):
+        plan_with_pool(1000.0, NODE, nodes=0)
+    small_pool = NodeResources(memory_gb=256.0, memory_bandwidth_gbs=73.0, pool_gb_available=10.0)
+    with pytest.raises(ConfigurationError):
+        plan_with_pool(1000.0, small_pool, nodes=2)
+
+
+def test_compare_plans_saves_nodes():
+    comparison = compare_plans(1000.0, NODE)
+    assert comparison["local_only"].nodes == 4
+    assert comparison["pooled"].nodes == 2
+    assert comparison["node_saving"] == 2
+    assert comparison["pooled_bandwidth_limit_gbs"] > 0
+
+
+def test_node_resources_validation():
+    with pytest.raises(ConfigurationError):
+        NodeResources(memory_gb=0.0, memory_bandwidth_gbs=10.0)
+    with pytest.raises(ConfigurationError):
+        NodeResources(memory_gb=10.0, memory_bandwidth_gbs=10.0, pool_gb_available=-1.0)

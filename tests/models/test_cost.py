@@ -1,0 +1,76 @@
+"""Tests for the memory cost / provisioning models."""
+
+import pytest
+
+from repro.config.errors import ConfigurationError
+from repro.models.cost import (
+    MemoryPriceModel,
+    ProvisioningScenario,
+    utilization_based_scenario,
+)
+
+
+class TestMemoryPriceModel:
+    def test_hbm_premium_range(self):
+        prices = MemoryPriceModel(ddr_per_gb=4.0)
+        low, high = prices.hbm_cost(512, 1000)
+        assert low == pytest.approx(512 * 1000 * 4.0 * 3)
+        assert high == pytest.approx(512 * 1000 * 4.0 * 5)
+        assert low < prices.hbm_cost_mid(512, 1000) < high
+        assert prices.hbm_per_gb_mid == pytest.approx(16.0)
+
+    def test_ddr_cost(self):
+        prices = MemoryPriceModel(ddr_per_gb=4.0)
+        assert prices.ddr_cost(512, 9408) == pytest.approx(512 * 9408 * 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoryPriceModel(ddr_per_gb=0.0)
+        with pytest.raises(ConfigurationError):
+            MemoryPriceModel(hbm_multiplier_low=6.0, hbm_multiplier_high=5.0)
+
+
+class TestProvisioningScenario:
+    def test_peak_of_sums_beats_sum_of_peaks(self):
+        # One big job, many small ones: per-node provisioning must size every
+        # node for the big one.
+        scenario = ProvisioningScenario(
+            job_peaks_gb=(500.0, 100.0, 100.0, 100.0), node_local_gb=128.0
+        )
+        assert scenario.sum_of_peaks_gb() == pytest.approx(2000.0)
+        pooled = scenario.peak_of_sums_gb()
+        assert pooled < scenario.sum_of_peaks_gb()
+        assert scenario.savings_gb() == pytest.approx(2000.0 - pooled)
+        assert 0.0 < scenario.savings_fraction() < 1.0
+        assert scenario.cost_savings() == pytest.approx(scenario.savings_gb() * 4.0)
+
+    def test_no_savings_when_all_jobs_identical_and_fit_locally(self):
+        scenario = ProvisioningScenario(job_peaks_gb=(100.0, 100.0), node_local_gb=100.0)
+        assert scenario.peak_of_sums_gb() == pytest.approx(200.0)
+        assert scenario.savings_fraction() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProvisioningScenario(job_peaks_gb=(), node_local_gb=10.0)
+        with pytest.raises(ConfigurationError):
+            ProvisioningScenario(job_peaks_gb=(-1.0,), node_local_gb=10.0)
+        with pytest.raises(ConfigurationError):
+            ProvisioningScenario(job_peaks_gb=(1.0,), node_local_gb=-10.0)
+
+
+class TestUtilizationScenario:
+    def test_built_from_utilisation_samples(self):
+        # The paper's observation: most jobs use far less than node capacity.
+        samples = [0.1, 0.2, 0.15, 0.8, 0.05]
+        scenario = utilization_based_scenario(10, 512.0, samples, node_local_fraction=0.25)
+        assert scenario.n_nodes == 10
+        assert scenario.node_local_gb == pytest.approx(128.0)
+        assert scenario.savings_fraction() > 0.3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            utilization_based_scenario(0, 512.0, [0.5])
+        with pytest.raises(ConfigurationError):
+            utilization_based_scenario(4, 512.0, [])
+        with pytest.raises(ConfigurationError):
+            utilization_based_scenario(4, 512.0, [1.5])

@@ -1,0 +1,72 @@
+"""Tests for the analytical interference-sensitivity model."""
+
+import numpy as np
+import pytest
+
+from repro.config.errors import ConfigurationError
+from repro.models.interference_model import InducedInterferenceModel, SensitivityModel
+
+
+class TestSensitivityModel:
+    def test_slowdown_grows_with_loi_and_remote_ratio(self):
+        model = SensitivityModel()
+        assert model.slowdown(0, 0.5, 0.3) == pytest.approx(1.0)
+        assert model.slowdown(50, 0.5, 0.3) > model.slowdown(25, 0.5, 0.3)
+        assert model.slowdown(50, 0.8, 0.3) > model.slowdown(50, 0.2, 0.3)
+
+    def test_high_arithmetic_intensity_absorbs_interference(self):
+        model = SensitivityModel()
+        memory_bound = model.slowdown(50, 0.5, 0.2)
+        compute_bound = model.slowdown(50, 0.5, 100.0)
+        assert compute_bound < memory_bound
+        assert compute_bound == pytest.approx(1.0, abs=0.01)
+
+    def test_relative_performance_is_reciprocal(self):
+        model = SensitivityModel()
+        assert model.relative_performance(50, 0.5, 0.3) == pytest.approx(
+            1.0 / model.slowdown(50, 0.5, 0.3)
+        )
+
+    def test_fit_recovers_known_constant(self):
+        true = SensitivityModel(k=0.4, ai_scale=2.0)
+        observations = []
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            loi = rng.uniform(0, 50)
+            ratio = rng.uniform(0, 1)
+            ai = rng.uniform(0.05, 20)
+            observations.append(
+                {
+                    "loi": loi,
+                    "remote_access_ratio": ratio,
+                    "arithmetic_intensity": ai,
+                    "slowdown": true.slowdown(loi, ratio, ai),
+                }
+            )
+        fitted = SensitivityModel.fit(observations)
+        assert fitted.k == pytest.approx(0.4, rel=0.01)
+        assert np.max(np.abs(fitted.residuals(observations))) < 1e-6
+
+    def test_fit_requires_informative_observations(self):
+        with pytest.raises(ConfigurationError):
+            SensitivityModel.fit(
+                [{"loi": 0, "remote_access_ratio": 0, "arithmetic_intensity": 1, "slowdown": 1.0}]
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SensitivityModel(k=-1.0)
+        with pytest.raises(ConfigurationError):
+            SensitivityModel(ai_scale=0.0)
+
+
+class TestInducedInterferenceModel:
+    def test_ic_grows_with_occupancy(self):
+        model = InducedInterferenceModel(c=1.6)
+        assert model.interference_coefficient(0.0, 56e9) == pytest.approx(1.0)
+        assert model.interference_coefficient(28e9, 56e9) == pytest.approx(1.8)
+        assert model.interference_coefficient(200e9, 56e9) == pytest.approx(2.6)  # capped at full occupancy
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            InducedInterferenceModel().interference_coefficient(1e9, 0.0)

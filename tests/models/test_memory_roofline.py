@@ -1,0 +1,68 @@
+"""Tests for the multi-tier memory roofline."""
+
+import numpy as np
+import pytest
+
+from repro.config import SKYLAKE_EMULATION
+from repro.config.tiers import two_tier_config
+from repro.models.memory_roofline import MemoryRoofline, optimization_priority
+
+
+@pytest.fixture(scope="module")
+def roofline():
+    return MemoryRoofline(local_bandwidth=73e9, remote_bandwidth=34e9)
+
+
+def test_from_config():
+    config = two_tier_config(1 << 30, 1 << 30)
+    model = MemoryRoofline.from_config(config)
+    assert model.local_bandwidth == pytest.approx(73e9)
+    assert model.remote_bandwidth == pytest.approx(34e9)
+
+
+def test_extremes(roofline):
+    assert roofline.attainable_bandwidth(0.0) == pytest.approx(73e9)
+    assert roofline.attainable_bandwidth(1.0) == pytest.approx(34e9)
+
+
+def test_peak_at_bandwidth_ratio(roofline):
+    optimal = roofline.optimal_remote_ratio
+    assert optimal == pytest.approx(34 / 107)
+    assert roofline.attainable_bandwidth(optimal) == pytest.approx(107e9, rel=1e-6)
+    # Any other ratio is worse.
+    for ratio in (0.0, 0.1, 0.5, 0.9, 1.0):
+        assert roofline.attainable_bandwidth(ratio) <= roofline.peak_bandwidth + 1e-6
+
+
+def test_curve_shape(roofline):
+    ratios, bandwidth = roofline.curve(n_points=51)
+    assert len(ratios) == 51
+    peak_index = int(np.argmax(bandwidth))
+    assert ratios[peak_index] == pytest.approx(roofline.optimal_remote_ratio, abs=0.03)
+
+
+def test_attainable_time_and_speedup(roofline):
+    t = roofline.attainable_time(107e9, roofline.optimal_remote_ratio)
+    assert t == pytest.approx(1.0, rel=1e-6)
+    assert roofline.speedup_over_local_only(roofline.optimal_remote_ratio) == pytest.approx(
+        107 / 73, rel=1e-6
+    )
+
+
+def test_classification(roofline):
+    r_bw = roofline.optimal_remote_ratio
+    assert roofline.classify(r_bw * 0.3, capacity_ratio=0.25) == "fast-tier-bound"
+    assert roofline.classify(0.28, capacity_ratio=0.25) == "balanced"
+    assert roofline.classify(0.9, capacity_ratio=0.25) == "slow-tier-bound"
+
+
+def test_optimization_priority_ranks_dominant_mismatched_phase_first(roofline):
+    phases = [
+        ("app-p1", 0.9, 0.1),   # badly placed but short
+        ("app-p2", 0.8, 0.9),   # badly placed and dominant -> top priority
+        ("app-p3", 0.2, 0.5),   # inside the band
+    ]
+    ranked = optimization_priority(phases, roofline)
+    assert ranked[0]["phase"] == "app-p2"
+    assert ranked[-1]["phase"] == "app-p3"
+    assert ranked[-1]["priority"] == pytest.approx(0.0)

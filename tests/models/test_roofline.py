@@ -1,0 +1,68 @@
+"""Tests for the roofline model."""
+
+import numpy as np
+import pytest
+
+from repro.config import SKYLAKE_EMULATION
+from repro.models.roofline import RooflineModel, RooflinePoint, roofline_series
+
+
+@pytest.fixture(scope="module")
+def roofline():
+    return RooflineModel.from_testbed(SKYLAKE_EMULATION)
+
+
+def test_attainable_is_min_of_roofs(roofline):
+    low_ai = 0.1
+    high_ai = 1000.0
+    assert roofline.attainable(low_ai) == pytest.approx(SKYLAKE_EMULATION.local_bandwidth * low_ai)
+    assert roofline.attainable(high_ai) == pytest.approx(SKYLAKE_EMULATION.peak_flops)
+
+
+def test_ridge_point(roofline):
+    ridge = roofline.ridge_point
+    assert roofline.attainable(ridge) == pytest.approx(SKYLAKE_EMULATION.peak_flops, rel=1e-6)
+    assert roofline.is_memory_bound(ridge * 0.5)
+    assert not roofline.is_memory_bound(ridge * 2.0)
+
+
+def test_extended_roof_adds_remote_bandwidth():
+    base = RooflineModel.from_testbed(SKYLAKE_EMULATION, include_remote_tier=False)
+    extended = RooflineModel.from_testbed(SKYLAKE_EMULATION, include_remote_tier=True)
+    ai = 0.5
+    assert extended.attainable(ai) > base.attainable(ai)
+    assert extended.ridge_point < base.ridge_point
+
+
+def test_curve_monotone_nondecreasing(roofline):
+    x, y = roofline.curve()
+    assert len(x) == len(y)
+    assert np.all(np.diff(y) >= -1e-9)
+    assert y[-1] == pytest.approx(SKYLAKE_EMULATION.peak_flops / 1e9)
+
+
+def test_curve_custom_intensities(roofline):
+    x, y = roofline.curve(intensities=[0.1, 1.0, 10.0])
+    assert list(x) == [0.1, 1.0, 10.0]
+
+
+def test_efficiency(roofline):
+    point = RooflinePoint("HPL-p2", 100.0, roofline.attainable_gflops(100.0) * 0.8)
+    assert roofline.efficiency(point) == pytest.approx(0.8, rel=1e-6)
+    overachiever = RooflinePoint("x", 0.1, 1e6)
+    assert roofline.efficiency(overachiever) == 1.0
+
+
+def test_point_memory_bound_flag():
+    assert RooflinePoint("Hypre-p2", 0.2, 10.0).memory_bound
+    assert not RooflinePoint("HPL-p2", 200.0, 900.0).memory_bound
+
+
+def test_roofline_series_assembly():
+    points = [RooflinePoint("A-p1", 0.2, 10.0), RooflinePoint("A-p2", 50.0, 700.0)]
+    series = roofline_series(points)
+    assert series["peak_gflops"] == pytest.approx(1100.0)
+    assert len(series["points"]) == 2
+    assert series["points"][0]["memory_bound"] is True
+    assert series["extended_roof"]["ridge"] < series["base_roof"]["ridge"]
+    assert 0.0 <= series["points"][0]["efficiency"] <= 1.0

@@ -1,0 +1,93 @@
+"""Tests for Level-1 profiling (general characteristics)."""
+
+import numpy as np
+import pytest
+
+from repro.profiler.level1 import Level1Profiler
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return Level1Profiler(seed=0)
+
+
+@pytest.fixture(scope="module")
+def hypre_profile(profiler):
+    return profiler.profile(build_workload("Hypre", 1.0))
+
+
+@pytest.fixture(scope="module")
+def xsbench_profile(profiler):
+    return profiler.profile(build_workload("XSBench", 1.0))
+
+
+class TestPhaseCharacteristics:
+    def test_phases_reported_in_order(self, hypre_profile):
+        assert [p.phase for p in hypre_profile.phases] == ["p1", "p2"]
+        assert hypre_profile.total_runtime > 0
+        assert hypre_profile.peak_rss_gib > 0
+
+    def test_arithmetic_intensity_matches_spec(self, hypre_profile):
+        spec = build_workload("Hypre", 1.0)
+        p2 = hypre_profile.phases[-1]
+        assert p2.arithmetic_intensity == pytest.approx(
+            spec.phase("p2").arithmetic_intensity, rel=1e-6
+        )
+
+    def test_bandwidth_below_platform_peak(self, hypre_profile):
+        for phase in hypre_profile.phases:
+            assert phase.achieved_bandwidth_gbs <= 73.0 * 1.01
+
+    def test_roofline_points_format(self, hypre_profile):
+        points = hypre_profile.phase_points()
+        assert points[0][0] == "Hypre-p1"
+        assert all(len(p) == 3 for p in points)
+
+
+class TestPrefetchReport:
+    def test_prefetch_metrics_in_range(self, hypre_profile, xsbench_profile):
+        for profile in (hypre_profile, xsbench_profile):
+            report = profile.prefetch
+            assert 0.0 <= report.accuracy <= 1.0
+            assert 0.0 <= report.coverage <= 1.0
+            assert report.excess_traffic >= 0.0
+
+    def test_hypre_is_far_more_prefetchable_than_xsbench(self, hypre_profile, xsbench_profile):
+        assert hypre_profile.prefetch.coverage > 0.6
+        assert xsbench_profile.prefetch.coverage < 0.1
+        assert hypre_profile.prefetch.performance_gain > xsbench_profile.prefetch.performance_gain
+
+    def test_traffic_with_prefetch_not_lower_than_without(self, hypre_profile):
+        report = hypre_profile.prefetch
+        assert report.traffic_with_prefetch >= report.traffic_without_prefetch * 0.999
+
+
+class TestScalingCurves:
+    def test_curves_for_three_inputs(self, profiler):
+        from repro.workloads import get_model
+
+        model = get_model("Hypre")
+        curves = profiler.scaling_curves(model.inputs())
+        assert len(curves) == 3
+        for curve in curves.values():
+            assert curve.access_pct[-1] == pytest.approx(100.0)
+
+    def test_hypre_uniform_vs_xsbench_skewed(self, hypre_profile, xsbench_profile):
+        assert hypre_profile.scaling_curve.skewness < 0.2
+        assert xsbench_profile.scaling_curve.skewness > 0.5
+        # XSBench: a small footprint share captures most accesses.
+        assert xsbench_profile.scaling_curve.access_share_at(0.2) > 0.6
+
+
+class TestPrefetchTimeline:
+    def test_timeline_with_and_without_prefetch(self, profiler):
+        spec = build_workload("NekRS", 1.0)
+        timelines = profiler.prefetch_timeline(spec, steps_per_phase=20)
+        assert set(timelines) == {"with-prefetch", "without-prefetch"}
+        with_t, with_lines = timelines["with-prefetch"]
+        without_t, without_lines = timelines["without-prefetch"]
+        assert len(with_t) == len(with_lines) == 40
+        # Prefetching makes the run faster while moving at least as much data.
+        assert with_t[-1] < without_t[-1]
+        assert with_lines.sum() >= without_lines.sum() * 0.999

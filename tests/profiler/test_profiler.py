@@ -1,0 +1,81 @@
+"""Tests for the multi-level profiler facade and the pf_start/pf_stop tracer."""
+
+import pytest
+
+from repro.cache.events import CounterSet
+from repro.config.errors import ProfilerError
+from repro.profiler.profiler import MultiLevelProfiler, RegionTracer
+
+
+class TestRegionTracer:
+    def test_basic_region(self):
+        tracer = RegionTracer()
+        tracer.pf_start("kernel-a")
+        tracer.advance_clock(2.5)
+        region = tracer.pf_stop(CounterSet({"FLOPS": 10.0}))
+        assert region.tag == "kernel-a"
+        assert region.elapsed == pytest.approx(2.5)
+        assert region.closed
+        assert region.counters["FLOPS"] == 10.0
+        assert tracer.region("kernel-a") is region
+
+    def test_nested_start_rejected(self):
+        tracer = RegionTracer()
+        tracer.pf_start("a")
+        with pytest.raises(ProfilerError):
+            tracer.pf_start("b")
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ProfilerError):
+            RegionTracer().pf_stop()
+
+    def test_clock_cannot_go_backwards(self):
+        with pytest.raises(ProfilerError):
+            RegionTracer().advance_clock(-1.0)
+
+    def test_total_time_accumulates_repeated_tags(self):
+        tracer = RegionTracer()
+        for _ in range(3):
+            tracer.pf_start("loop")
+            tracer.advance_clock(1.0)
+            tracer.pf_stop()
+        assert tracer.total_time("loop") == pytest.approx(3.0)
+        assert len(tracer.regions) == 3
+
+    def test_unknown_region_lookup(self):
+        with pytest.raises(KeyError):
+            RegionTracer().region("nope")
+
+
+class TestMultiLevelProfiler:
+    @pytest.fixture(scope="class")
+    def profiler(self):
+        return MultiLevelProfiler(seed=0)
+
+    def test_level1(self, profiler, xsbench_spec):
+        profile = profiler.level1(xsbench_spec)
+        assert profile.workload == "XSBench"
+        assert len(profile.phases) == 2
+
+    def test_level2(self, profiler, xsbench_spec):
+        profile = profiler.level2(xsbench_spec, local_fraction=0.5)
+        assert profile.config_label == "50-50"
+        assert profile.overall_remote_access_ratio < 0.10
+
+    def test_level2_sweep(self, profiler, xsbench_spec):
+        profiles = profiler.level2_sweep(xsbench_spec, (0.75, 0.25))
+        assert set(profiles) == {"75-25", "25-75"}
+
+    def test_level3(self, profiler, xsbench_spec):
+        report = profiler.level3(xsbench_spec, local_fraction=0.5)
+        assert report.interference_coefficient >= 1.0
+        assert report.sensitivity.loi_levels[0] == 0.0
+
+    def test_level3_custom_levels(self, profiler, xsbench_spec):
+        report = profiler.level3(xsbench_spec, loi_levels=(0, 40))
+        assert report.sensitivity.loi_levels == (0.0, 40.0)
+
+    def test_pf_api_delegates_to_tracer(self, profiler):
+        profiler.pf_start("tagged")
+        region = profiler.pf_stop()
+        assert region.tag == "tagged"

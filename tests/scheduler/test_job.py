@@ -1,0 +1,52 @@
+"""Tests for job profiles and job bookkeeping."""
+
+import pytest
+
+from repro.config.errors import SchedulingError
+from repro.profiler.level3 import SensitivityCurve
+from repro.scheduler.job import Job, JobProfile
+
+
+def curve(loss_at_50=0.2):
+    return SensitivityCurve(
+        workload="app",
+        config_label="50-50",
+        loi_levels=(0.0, 50.0),
+        runtimes=(100.0, 100.0 * (1 + loss_at_50)),
+    )
+
+
+class TestJobProfile:
+    def test_slowdown_uses_sensitivity_curve(self):
+        profile = JobProfile(workload="app", baseline_runtime=100.0, sensitivity=curve(0.2))
+        assert profile.slowdown_at(0.0) == pytest.approx(1.0)
+        assert profile.slowdown_at(50.0) == pytest.approx(1.2)
+        assert profile.slowdown_at(25.0) == pytest.approx(1.1)
+        assert profile.runtime_at(50.0) == pytest.approx(120.0)
+
+    def test_without_curve_job_is_insensitive(self):
+        profile = JobProfile(workload="app", baseline_runtime=100.0)
+        assert profile.slowdown_at(50.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            JobProfile(workload="x", baseline_runtime=0.0)
+        with pytest.raises(SchedulingError):
+            JobProfile(workload="x", baseline_runtime=1.0, interference_coefficient=0.5)
+        with pytest.raises(SchedulingError):
+            JobProfile(workload="x", baseline_runtime=1.0, induced_loi=-1.0)
+        with pytest.raises(SchedulingError):
+            JobProfile(workload="x", baseline_runtime=1.0, pool_gb=-1.0)
+
+
+class TestJob:
+    def test_lifecycle_metrics(self):
+        job = Job(job_id=0, profile=JobProfile(workload="a", baseline_runtime=50.0), submit_time=5.0)
+        assert not job.started and not job.finished
+        assert job.execution_time == 0.0 and job.slowdown == 1.0
+        job.start_time = 10.0
+        job.finish_time = 70.0
+        assert job.started and job.finished
+        assert job.wait_time == pytest.approx(5.0)
+        assert job.execution_time == pytest.approx(60.0)
+        assert job.slowdown == pytest.approx(1.2)

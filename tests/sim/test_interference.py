@@ -1,0 +1,70 @@
+"""Tests for interference sources."""
+
+import pytest
+
+from repro.config import ConfigurationError, SKYLAKE_EMULATION
+from repro.interconnect.link import RemoteLink
+from repro.sim.interference import ConstantInterference, NoInterference, RandomInterference
+
+
+@pytest.fixture(scope="module")
+def link():
+    return RemoteLink(SKYLAKE_EMULATION)
+
+
+def test_no_interference(link):
+    source = NoInterference()
+    assert source.background_bandwidth(link, 0.0) == 0.0
+    assert source.mean_loi() == 0.0
+
+
+def test_constant_interference_matches_loi(link):
+    source = ConstantInterference(50.0)
+    bandwidth = source.background_bandwidth(link, 123.0)
+    assert link.loi(bandwidth) == pytest.approx(50.0)
+    assert source.mean_loi() == 50.0
+
+
+def test_constant_interference_validation():
+    with pytest.raises(ConfigurationError):
+        ConstantInterference(-5.0)
+
+
+class TestRandomInterference:
+    def test_deterministic_given_seed(self, link):
+        a = RandomInterference(0.0, 50.0, interval=60.0, seed=7)
+        b = RandomInterference(0.0, 50.0, interval=60.0, seed=7)
+        times = [0.0, 59.0, 60.0, 125.0, 600.0]
+        assert [a.background_bandwidth(link, t) for t in times] == [
+            b.background_bandwidth(link, t) for t in times
+        ]
+
+    def test_constant_within_interval(self, link):
+        source = RandomInterference(0.0, 50.0, interval=60.0, seed=3)
+        assert source.background_bandwidth(link, 10.0) == source.background_bandwidth(link, 59.9)
+
+    def test_changes_across_intervals(self, link):
+        source = RandomInterference(0.0, 50.0, interval=60.0, seed=3)
+        values = {source.background_bandwidth(link, 60.0 * k) for k in range(20)}
+        assert len(values) > 5
+
+    def test_range_respected(self, link):
+        source = RandomInterference(10.0, 20.0, interval=60.0, seed=11)
+        _, lois = source.loi_timeline(60.0 * 200)
+        assert lois.min() >= 10.0
+        assert lois.max() <= 20.0
+        assert source.mean_loi() == pytest.approx(15.0)
+        assert 10.0 <= source.average_loi_over(60.0 * 200) <= 20.0
+
+    def test_aware_range_has_lower_mean_than_baseline(self, link):
+        baseline = RandomInterference(0.0, 50.0, seed=1)
+        aware = RandomInterference(0.0, 20.0, seed=1)
+        assert aware.average_loi_over(6000) < baseline.average_loi_over(6000)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomInterference(-1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            RandomInterference(30.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            RandomInterference(0.0, 10.0, interval=0.0)

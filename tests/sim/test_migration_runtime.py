@@ -1,0 +1,102 @@
+"""Tests for the transparent hot-page migration runtime (dynamic placement)."""
+
+import pytest
+
+from repro.config.errors import ConfigurationError
+from repro.runtime import MigratingExecutionEngine, MigrationPolicy
+from repro.sim import ExecutionEngine, Platform
+from repro.casestudies.bfs_placement import baseline_spec, optimized_spec
+from repro.workloads import build_workload
+
+
+class TestMigrationPolicy:
+    def test_defaults_valid(self):
+        policy = MigrationPolicy()
+        assert policy.epoch_seconds > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MigrationPolicy(epoch_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            MigrationPolicy(promotion_budget_pages=-1)
+        with pytest.raises(ConfigurationError):
+            MigrationPolicy(hotness_quantile=1.0)
+        with pytest.raises(ConfigurationError):
+            MigrationPolicy(migration_bandwidth=0.0)
+
+
+@pytest.fixture(scope="module")
+def bfs_platform():
+    spec = baseline_spec(1.0)
+    return Platform.pooled(spec.footprint_bytes, 0.25)
+
+
+class TestMigratingEngine:
+    def test_promotes_pages_and_reduces_remote_access(self, bfs_platform):
+        """BFS's hot Parents/frontier pages start remote; the runtime pulls them in."""
+        spec = baseline_spec(1.0)
+        static = ExecutionEngine(bfs_platform, seed=0).run(spec)
+        dynamic_engine = MigratingExecutionEngine(
+            bfs_platform, MigrationPolicy(epoch_seconds=5.0, promotion_budget_pages=50_000), seed=0
+        )
+        dynamic = dynamic_engine.run(spec)
+        stats = dynamic_engine.last_migration_stats
+        assert stats is not None
+        assert stats.promoted_pages > 0
+        assert stats.epochs > 1
+        assert dynamic.remote_access_ratio < static.remote_access_ratio
+        assert dynamic.total_runtime < static.total_runtime
+
+    def test_dynamic_placement_lags_behind_static_optimum(self, bfs_platform):
+        """The manually optimised allocation order still beats the runtime (Section 5.2)."""
+        dynamic_engine = MigratingExecutionEngine(bfs_platform, seed=0)
+        dynamic = dynamic_engine.run(baseline_spec(1.0))
+        manual_platform = Platform.pooled(optimized_spec(1.0).footprint_bytes, 0.25)
+        manual = ExecutionEngine(manual_platform, seed=0).run(optimized_spec(1.0))
+        assert manual.remote_access_ratio <= dynamic.remote_access_ratio + 0.05
+
+    def test_single_tier_run_is_untouched(self):
+        spec = build_workload("Hypre", 1.0)
+        engine = MigratingExecutionEngine(Platform.local_only(), seed=0)
+        dynamic = engine.run(spec)
+        static = ExecutionEngine(Platform.local_only(), seed=0).run(spec)
+        assert dynamic.total_runtime == pytest.approx(static.total_runtime, rel=1e-6)
+        assert engine.last_migration_stats.promoted_pages == 0
+
+    def test_zero_budget_disables_promotions(self, bfs_platform):
+        spec = baseline_spec(1.0)
+        engine = MigratingExecutionEngine(
+            bfs_platform, MigrationPolicy(promotion_budget_pages=0), seed=0
+        )
+        dynamic = engine.run(spec)
+        static = ExecutionEngine(bfs_platform, seed=0).run(spec)
+        assert engine.last_migration_stats.promoted_pages == 0
+        assert dynamic.remote_access_ratio == pytest.approx(static.remote_access_ratio, abs=0.02)
+
+    def test_migration_time_is_charged(self, bfs_platform):
+        spec = baseline_spec(1.0)
+        slow_copy = MigratingExecutionEngine(
+            bfs_platform,
+            MigrationPolicy(migration_bandwidth=0.2e9, promotion_budget_pages=50_000),
+            seed=0,
+        )
+        fast_copy = MigratingExecutionEngine(
+            bfs_platform,
+            MigrationPolicy(migration_bandwidth=50e9, promotion_budget_pages=50_000),
+            seed=0,
+        )
+        slow = slow_copy.run(spec)
+        fast = fast_copy.run(spec)
+        assert slow_copy.last_migration_stats.migration_seconds > fast_copy.last_migration_stats.migration_seconds
+        assert slow.total_runtime > fast.total_runtime
+
+    def test_counters_remain_consistent(self, bfs_platform):
+        from repro.cache import events
+
+        spec = baseline_spec(1.0)
+        engine = MigratingExecutionEngine(bfs_platform, seed=0)
+        result = engine.run(spec)
+        counters = result.counters
+        assert counters[events.FP_ARITH_OPS] == pytest.approx(spec.total_flops)
+        total_lines = counters[events.OFFCORE_LOCAL_DRAM] + counters[events.OFFCORE_REMOTE_DRAM]
+        assert total_lines == pytest.approx(spec.total_dram_bytes / 64, rel=0.01)

@@ -1,0 +1,118 @@
+"""Tests for the extended-roofline performance model."""
+
+import pytest
+
+from repro.config import SKYLAKE_EMULATION
+from repro.interconnect.link import RemoteLink
+from repro.sim.perfmodel import PerformanceModel, PhaseInputs
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel(SKYLAKE_EMULATION, RemoteLink(SKYLAKE_EMULATION))
+
+
+def test_compute_bound_phase(model):
+    flops = 1e13
+    inputs = PhaseInputs(flops=flops, local_demand_bytes=1e9, remote_demand_bytes=0.0,
+                         prefetch_coverage=0.9, mlp=16)
+    breakdown = model.phase_time(inputs)
+    assert breakdown.runtime == pytest.approx(flops / SKYLAKE_EMULATION.peak_flops, rel=0.05)
+    assert breakdown.bound_by == "compute"
+
+
+def test_local_bandwidth_bound_phase(model):
+    nbytes = 730e9  # 10 seconds at 73 GB/s
+    inputs = PhaseInputs(flops=1e9, local_demand_bytes=nbytes, remote_demand_bytes=0.0,
+                         prefetch_coverage=1.0, mlp=16)
+    breakdown = model.phase_time(inputs)
+    assert breakdown.runtime == pytest.approx(10.0, rel=0.05)
+    assert breakdown.bound_by == "local-bw"
+
+
+def test_remote_traffic_is_slower_than_local(model):
+    nbytes = 100e9
+    local = model.phase_time(PhaseInputs(flops=1e9, local_demand_bytes=nbytes,
+                                         remote_demand_bytes=0.0, prefetch_coverage=0.9, mlp=10))
+    remote = model.phase_time(PhaseInputs(flops=1e9, local_demand_bytes=0.0,
+                                          remote_demand_bytes=nbytes, prefetch_coverage=0.9, mlp=10))
+    assert remote.runtime > local.runtime
+
+
+def test_tiers_overlap_gives_aggregate_bandwidth(model):
+    # Splitting traffic between the tiers at the bandwidth ratio beats local-only.
+    nbytes = 500e9
+    r_bw = SKYLAKE_EMULATION.bandwidth_ratio_remote
+    split = model.phase_time(PhaseInputs(
+        flops=1e9,
+        local_demand_bytes=nbytes * (1 - r_bw),
+        remote_demand_bytes=nbytes * r_bw,
+        prefetch_coverage=1.0,
+        mlp=16,
+    ))
+    local_only = model.phase_time(PhaseInputs(
+        flops=1e9, local_demand_bytes=nbytes, remote_demand_bytes=0.0,
+        prefetch_coverage=1.0, mlp=16,
+    ))
+    assert split.runtime < local_only.runtime
+
+
+def test_low_coverage_low_mlp_exposes_latency(model):
+    nbytes = 100e9
+    covered = model.phase_time(PhaseInputs(flops=1e6, local_demand_bytes=nbytes,
+                                           remote_demand_bytes=0.0, prefetch_coverage=0.95, mlp=2))
+    uncovered = model.phase_time(PhaseInputs(flops=1e6, local_demand_bytes=nbytes,
+                                             remote_demand_bytes=0.0, prefetch_coverage=0.0, mlp=2))
+    assert uncovered.runtime > covered.runtime
+    assert uncovered.latency_stall_time > covered.latency_stall_time
+
+
+def test_high_mlp_hides_latency(model):
+    nbytes = 100e9
+    low_mlp = model.phase_time(PhaseInputs(flops=1e6, local_demand_bytes=nbytes,
+                                           remote_demand_bytes=0.0, prefetch_coverage=0.0, mlp=2))
+    high_mlp = model.phase_time(PhaseInputs(flops=1e6, local_demand_bytes=nbytes,
+                                            remote_demand_bytes=0.0, prefetch_coverage=0.0, mlp=32))
+    assert high_mlp.runtime < low_mlp.runtime
+
+
+def test_background_interference_slows_remote_phase(model):
+    inputs = dict(flops=1e9, local_demand_bytes=50e9, remote_demand_bytes=100e9,
+                  prefetch_coverage=0.7, mlp=8)
+    idle = model.phase_time(PhaseInputs(**inputs, background_bandwidth=0.0))
+    loaded = model.phase_time(PhaseInputs(**inputs, background_bandwidth=30e9))
+    assert loaded.runtime > idle.runtime
+
+
+def test_background_interference_barely_affects_local_phase(model):
+    inputs = dict(flops=1e9, local_demand_bytes=150e9, remote_demand_bytes=0.0,
+                  prefetch_coverage=0.7, mlp=8)
+    idle = model.phase_time(PhaseInputs(**inputs, background_bandwidth=0.0))
+    loaded = model.phase_time(PhaseInputs(**inputs, background_bandwidth=30e9))
+    assert loaded.runtime == pytest.approx(idle.runtime, rel=1e-6)
+
+
+def test_compute_bound_phase_absorbs_interference(model):
+    inputs = dict(flops=5e13, local_demand_bytes=10e9, remote_demand_bytes=10e9,
+                  prefetch_coverage=0.6, mlp=8)
+    idle = model.phase_time(PhaseInputs(**inputs, background_bandwidth=0.0))
+    loaded = model.phase_time(PhaseInputs(**inputs, background_bandwidth=25e9))
+    assert loaded.runtime < idle.runtime * 1.02
+
+
+def test_roofline_time_helper(model):
+    assert model.roofline_time(1e12, 1e9) == pytest.approx(1e12 / SKYLAKE_EMULATION.peak_flops)
+    assert model.roofline_time(1e6, 73e9) == pytest.approx(1.0, rel=0.01)
+
+
+def test_zero_work_phase(model):
+    breakdown = model.phase_time(PhaseInputs(flops=0.0, local_demand_bytes=0.0,
+                                             remote_demand_bytes=1e6, prefetch_coverage=0.0, mlp=1))
+    assert breakdown.runtime > 0.0
+
+
+def test_phase_inputs_totals():
+    inputs = PhaseInputs(flops=1.0, local_demand_bytes=10.0, remote_demand_bytes=20.0,
+                         local_extra_bytes=1.0, remote_extra_bytes=2.0)
+    assert inputs.local_bytes == 11.0
+    assert inputs.remote_bytes == 22.0

@@ -1,0 +1,60 @@
+"""Tests for platform assembly."""
+
+import pytest
+
+from repro.config import ConfigurationError, SKYLAKE_EMULATION
+from repro.config.units import GiB
+from repro.interconnect.queueing import MD1QueueingModel
+from repro.sim.platform import Platform
+
+
+def test_local_only_platform():
+    platform = Platform.local_only()
+    assert platform.tier_config is None
+    assert platform.label == "local-only"
+    assert not platform.is_pooled
+    config = platform.tier_config_for(4 * GiB)
+    assert config.n_tiers == 1
+    assert config.total_capacity >= 4 * GiB
+
+
+def test_pooled_platform_labels_and_ratios():
+    platform = Platform.pooled(4 * GiB, 0.25)
+    assert platform.label == "25-75"
+    assert platform.is_pooled
+    assert platform.tier_config.remote_capacity_ratio == pytest.approx(0.75, abs=0.05)
+
+
+def test_pooled_platform_tier_config_for_checks_capacity():
+    platform = Platform.pooled(2 * GiB, 0.5)
+    with pytest.raises(ConfigurationError):
+        platform.tier_config_for(100 * GiB)
+    assert platform.tier_config_for(2 * GiB) is platform.tier_config
+
+
+def test_explicit_platform():
+    platform = Platform.explicit(2 * GiB, 6 * GiB, label="custom")
+    assert platform.label == "custom"
+    assert platform.tier_config.remote_capacity_ratio == pytest.approx(0.75)
+
+
+def test_default_label_from_ratios():
+    platform = Platform.explicit(GiB, GiB)
+    assert platform.label == "50-50"
+
+
+def test_custom_queueing_model_propagates():
+    platform = Platform.pooled(GiB, 0.5, queueing=MD1QueueingModel())
+    assert isinstance(platform.link.queueing, MD1QueueingModel)
+
+
+def test_tier_config_for_rejects_bad_footprint():
+    with pytest.raises(ConfigurationError):
+        Platform.local_only().tier_config_for(0)
+
+
+def test_describe():
+    info = Platform.pooled(GiB, 0.5).describe()
+    assert info["label"] == "50-50"
+    assert info["tiers"] is not None
+    assert info["testbed"]["local_bandwidth_gbs"] == pytest.approx(73.0)

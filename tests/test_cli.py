@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_table_1_text(capsys):
+    assert main(["table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Frontier" in out
+    assert "est_ddr_cost_musd" in out
+
+
+def test_table_2_json(capsys):
+    assert main(["--json", "table", "2"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 6
+    assert rows[0]["application"] == "HPL"
+
+
+def test_unknown_table_number(capsys):
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["table", "7"])
+
+
+def test_figure_1(capsys):
+    assert main(["--json", "figure", "1"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "years" in data
+
+
+def test_figure_8(capsys):
+    assert main(["--json", "figure", "8"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert set(data) == {"HPL", "Hypre", "NekRS", "BFS", "SuperLU", "XSBench"}
+
+
+def test_unknown_figure_number(capsys):
+    assert main(["figure", "99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_profile_command_levels(capsys):
+    assert main(["--json", "profile", "XSBench", "--levels", "3"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["workload"] == "XSBench"
+    assert "level1" in data and "level2" in data and "level3" in data
+    assert data["level2"]["phases"][0]["remote_access_ratio"] < 0.2
+    assert data["level3"]["interference_coefficient"] >= 1.0
+
+
+def test_profile_command_level1_only(capsys):
+    assert main(["--json", "profile", "HPL", "--levels", "1"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "level2" not in data
+
+
+def test_profile_accepts_xs_alias(capsys):
+    assert main(["--json", "profile", "XS", "--levels", "1"]) == 0
+    assert json.loads(capsys.readouterr().out)["workload"] == "XSBench"
+
+
+def test_bfs_case_study_command(capsys):
+    assert main(["--json", "bfs-case-study", "--no-sensitivity"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert len(data["rows"]) == 6
+
+
+def test_scheduling_command_small(capsys):
+    assert main(["--json", "scheduling", "--runs", "5"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "Hypre" in data
+    assert "mean_speedup" in data["Hypre"]
+
+
+def test_text_output_mode(capsys):
+    assert main(["figure", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "years" in out

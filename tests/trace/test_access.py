@@ -1,0 +1,121 @@
+"""Tests for access batches and page access profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.access import AccessBatch, PageAccessProfile
+
+
+class TestAccessBatch:
+    def test_reads_and_writes_constructors(self):
+        reads = AccessBatch.reads(np.arange(10), object_id=3)
+        writes = AccessBatch.writes(np.arange(5), object_id=4, weight=2.0)
+        assert reads.n_reads == 10 and reads.n_writes == 0
+        assert writes.n_writes == 5 and writes.n_reads == 0
+        assert set(reads.object_ids) == {3}
+        assert writes.represented_accesses == pytest.approx(10.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AccessBatch(
+                lines=np.arange(3),
+                is_write=np.zeros(2, dtype=bool),
+                object_ids=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AccessBatch.reads(np.arange(3), weight=0.0)
+
+    def test_empty(self):
+        batch = AccessBatch.empty()
+        assert len(batch) == 0
+        assert batch.represented_accesses == 0
+
+    def test_concat_same_weight(self):
+        a = AccessBatch.reads(np.arange(4), object_id=0)
+        b = AccessBatch.writes(np.arange(4, 8), object_id=1)
+        merged = AccessBatch.concat([a, b])
+        assert len(merged) == 8
+        assert merged.n_writes == 4
+        np.testing.assert_array_equal(merged.lines, np.arange(8))
+
+    def test_concat_weight_mismatch(self):
+        a = AccessBatch.reads(np.arange(4), weight=1.0)
+        b = AccessBatch.reads(np.arange(4), weight=2.0)
+        with pytest.raises(ValueError):
+            AccessBatch.concat([a, b])
+
+    def test_concat_empty_list(self):
+        assert len(AccessBatch.concat([])) == 0
+
+    def test_bytes_represented(self):
+        batch = AccessBatch.reads(np.arange(10), weight=3.0)
+        assert batch.bytes_represented(64) == pytest.approx(10 * 3 * 64)
+
+    def test_pages_mapping(self):
+        batch = AccessBatch.reads(np.array([0, 63, 64, 128]))
+        np.testing.assert_array_equal(batch.pages(64), [0, 0, 1, 2])
+
+    def test_subset(self):
+        batch = AccessBatch.reads(np.arange(10))
+        subset = batch.subset(batch.lines % 2 == 0)
+        assert len(subset) == 5
+        assert np.all(subset.lines % 2 == 0)
+
+    def test_interleave_preserves_contents(self, rng):
+        a = AccessBatch.reads(np.arange(100), object_id=0)
+        b = AccessBatch.writes(np.arange(100, 150), object_id=1)
+        merged = a.interleave(b, rng)
+        assert len(merged) == 150
+        assert sorted(merged.lines.tolist()) == sorted(
+            a.lines.tolist() + b.lines.tolist()
+        )
+        # Relative order within each source batch is preserved.
+        from_a = merged.lines[merged.object_ids == 0]
+        np.testing.assert_array_equal(from_a, a.lines)
+
+    def test_interleave_with_empty(self, rng):
+        a = AccessBatch.reads(np.arange(10))
+        merged = a.interleave(AccessBatch.empty(), rng)
+        assert len(merged) == 10
+
+
+class TestPageAccessProfile:
+    def test_from_batch_counts_pages(self):
+        batch = AccessBatch.reads(np.array([0, 1, 64, 65, 66, 128]), weight=2.0)
+        profile = PageAccessProfile.from_batch(batch, lines_per_page=64)
+        assert profile.n_pages == 3
+        np.testing.assert_array_equal(profile.page_ids, [0, 1, 2])
+        np.testing.assert_allclose(profile.counts, [4.0, 6.0, 2.0])
+        assert profile.total_accesses == pytest.approx(12.0)
+
+    def test_merged_sums_shared_pages(self):
+        a = PageAccessProfile(np.array([0, 1]), np.array([1.0, 2.0]))
+        b = PageAccessProfile(np.array([1, 2]), np.array([3.0, 4.0]))
+        merged = a.merged(b)
+        np.testing.assert_array_equal(merged.page_ids, [0, 1, 2])
+        np.testing.assert_allclose(merged.counts, [1.0, 5.0, 4.0])
+
+    def test_merged_with_empty(self):
+        a = PageAccessProfile(np.array([5]), np.array([2.0]))
+        empty = PageAccessProfile(np.empty(0, dtype=np.int64), np.empty(0))
+        assert a.merged(empty) is a
+        assert empty.merged(a) is a
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            PageAccessProfile(np.array([0]), np.array([-1.0]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200),
+    weight=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_profile_total_matches_batch(lines, weight):
+    batch = AccessBatch.reads(np.array(lines, dtype=np.int64), weight=weight)
+    profile = PageAccessProfile.from_batch(batch, lines_per_page=64)
+    assert profile.total_accesses == pytest.approx(len(lines) * weight)
+    assert profile.n_pages == len(np.unique(np.array(lines) // 64))

@@ -1,0 +1,106 @@
+"""Tests for the bandwidth-capacity scaling curve utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.access import PageAccessProfile
+from repro.trace.footprint import (
+    ScalingCurve,
+    hot_page_order,
+    scaling_curve_from_counts,
+    scaling_curve_from_profile,
+    working_set_pages,
+)
+
+
+def test_uniform_counts_give_diagonal_curve():
+    curve = scaling_curve_from_counts(np.ones(1000))
+    np.testing.assert_allclose(curve.access_pct, curve.footprint_pct, atol=0.5)
+    assert curve.skewness == pytest.approx(0.0, abs=0.02)
+
+
+def test_skewed_counts_give_concave_curve():
+    counts = np.ones(1000)
+    counts[:10] = 1000.0  # 10 pages take ~91% of the traffic
+    curve = scaling_curve_from_counts(counts)
+    assert curve.access_share_at(0.01) > 0.85
+    assert curve.skewness > 0.5
+
+
+def test_curve_is_monotone_and_bounded():
+    counts = np.random.default_rng(0).pareto(1.5, size=5000) + 1
+    curve = scaling_curve_from_counts(counts)
+    assert np.all(np.diff(curve.access_pct) >= -1e-9)
+    assert curve.access_pct[0] == pytest.approx(0.0)
+    assert curve.access_pct[-1] == pytest.approx(100.0)
+
+
+def test_access_share_and_inverse_round_trip():
+    counts = np.arange(1, 101, dtype=float)
+    curve = scaling_curve_from_counts(counts)
+    share = curve.access_share_at(0.3)
+    back = curve.footprint_share_for(share)
+    assert back == pytest.approx(0.3, abs=0.02)
+
+
+def test_empty_counts_fallback():
+    curve = scaling_curve_from_counts(np.array([]))
+    np.testing.assert_allclose(curve.access_pct, curve.footprint_pct)
+
+
+def test_curve_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        ScalingCurve(np.array([0.0, 1.0]), np.array([0.0]))
+
+
+def test_scaling_curve_from_profile_matches_counts():
+    profile = PageAccessProfile(np.arange(10), np.arange(1.0, 11.0))
+    a = scaling_curve_from_profile(profile)
+    b = scaling_curve_from_counts(profile.counts)
+    np.testing.assert_allclose(a.access_pct, b.access_pct)
+
+
+def test_hot_page_order():
+    profile = PageAccessProfile(np.array([7, 8, 9]), np.array([1.0, 5.0, 3.0]))
+    np.testing.assert_array_equal(hot_page_order(profile), [8, 9, 7])
+
+
+def test_hot_page_order_empty():
+    empty = PageAccessProfile(np.empty(0, dtype=np.int64), np.empty(0))
+    assert len(hot_page_order(empty)) == 0
+
+
+def test_working_set_pages():
+    profile = PageAccessProfile(np.arange(4), np.array([70.0, 20.0, 9.0, 1.0]))
+    assert working_set_pages(profile, access_share=0.7) == 1
+    assert working_set_pages(profile, access_share=0.9) == 2
+    assert working_set_pages(profile, access_share=1.0) == 4
+
+
+def test_working_set_pages_empty():
+    empty = PageAccessProfile(np.empty(0, dtype=np.int64), np.empty(0))
+    assert working_set_pages(empty) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    counts=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=500),
+)
+def test_curve_properties_hold_for_arbitrary_counts(counts):
+    curve = scaling_curve_from_counts(np.array(counts))
+    # Monotone non-decreasing, bounded, and always at least as high as the diagonal.
+    assert np.all(np.diff(curve.access_pct) >= -1e-6)
+    assert np.all(curve.access_pct <= 100.0 + 1e-6)
+    assert np.all(curve.access_pct >= curve.footprint_pct - 1e-6)
+    assert 0.0 <= curve.skewness <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(share=st.floats(min_value=0.0, max_value=1.0))
+def test_access_share_bounded(share):
+    counts = np.random.default_rng(3).integers(1, 1000, size=300).astype(float)
+    curve = scaling_curve_from_counts(counts)
+    value = curve.access_share_at(share)
+    assert 0.0 <= value <= 1.0
+    assert value >= share - 1e-6  # hottest-first ordering dominates the diagonal

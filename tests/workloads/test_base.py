@@ -1,0 +1,172 @@
+"""Tests for the workload specification model."""
+
+import numpy as np
+import pytest
+
+from repro.config.errors import WorkloadError
+from repro.config.units import MiB
+from repro.memory.objects import MemoryObject
+from repro.workloads.base import (
+    PhaseSpec,
+    TRAFFIC_PROFILES,
+    WorkloadModel,
+    WorkloadSpec,
+)
+
+
+def make_phase(**overrides):
+    base = dict(
+        name="p1",
+        flops=1e9,
+        dram_bytes=1e9,
+        object_traffic={"a": 0.6, "b": 0.4},
+    )
+    base.update(overrides)
+    return PhaseSpec(**base)
+
+
+def make_spec(**overrides):
+    objects = (
+        MemoryObject(name="a", size_bytes=10 * MiB),
+        MemoryObject(name="b", size_bytes=20 * MiB),
+    )
+    base = dict(
+        name="toy",
+        input_label="x1",
+        scale=1.0,
+        objects=objects,
+        phases=(make_phase(),),
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestPhaseSpec:
+    def test_arithmetic_intensity(self):
+        phase = make_phase(flops=2e9, dram_bytes=1e9)
+        assert phase.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_zero_traffic_intensity_is_infinite(self):
+        phase = make_phase(dram_bytes=0.0)
+        assert phase.arithmetic_intensity == float("inf")
+
+    def test_traffic_fractions_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            make_phase(object_traffic={"a": 0.5, "b": 0.2})
+
+    def test_rejects_empty_traffic(self):
+        with pytest.raises(WorkloadError):
+            make_phase(object_traffic={})
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(WorkloadError):
+            make_phase(object_traffic={"a": 1.5, "b": -0.5})
+
+    def test_rejects_no_work(self):
+        with pytest.raises(WorkloadError):
+            make_phase(flops=0.0, dram_bytes=0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            make_phase(write_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            make_phase(mlp=0.0)
+        with pytest.raises(WorkloadError):
+            make_phase(stream_fraction=2.0)
+        with pytest.raises(WorkloadError):
+            make_phase(traffic_profile="sawtooth")
+        with pytest.raises(WorkloadError):
+            make_phase(duration_weight=0.0)
+
+    @pytest.mark.parametrize("profile", TRAFFIC_PROFILES)
+    def test_traffic_shapes_normalised(self, profile):
+        phase = make_phase(traffic_profile=profile)
+        shape = phase.traffic_shape(37)
+        assert len(shape) == 37
+        assert shape.sum() == pytest.approx(1.0)
+        assert np.all(shape > 0)
+
+    def test_traffic_shape_rejects_bad_steps(self):
+        with pytest.raises(WorkloadError):
+            make_phase().traffic_shape(0)
+
+
+class TestWorkloadSpec:
+    def test_footprint_and_totals(self):
+        spec = make_spec()
+        assert spec.footprint_bytes == 30 * MiB
+        assert spec.total_flops == pytest.approx(1e9)
+        assert spec.total_dram_bytes == pytest.approx(1e9)
+        assert spec.phase_names == ("p1",)
+
+    def test_lookups(self):
+        spec = make_spec()
+        assert spec.phase("p1").name == "p1"
+        assert spec.object("a").name == "a"
+        with pytest.raises(KeyError):
+            spec.phase("p9")
+        with pytest.raises(KeyError):
+            spec.object("zzz")
+
+    def test_rejects_unknown_traffic_target(self):
+        with pytest.raises(WorkloadError):
+            make_spec(phases=(make_phase(object_traffic={"zzz": 1.0}),))
+
+    def test_rejects_duplicate_object_names(self):
+        objects = (
+            MemoryObject(name="a", size_bytes=MiB),
+            MemoryObject(name="a", size_bytes=MiB),
+        )
+        with pytest.raises(WorkloadError):
+            make_spec(objects=objects, phases=(make_phase(object_traffic={"a": 1.0}),))
+
+    def test_rejects_unknown_init_only_and_late(self):
+        with pytest.raises(WorkloadError):
+            make_spec(init_only_objects=("zzz",))
+        with pytest.raises(WorkloadError):
+            make_spec(late_objects=("zzz",))
+        with pytest.raises(WorkloadError):
+            make_spec(init_only_objects=("a",), late_objects=("a",))
+
+    def test_with_allocation_order(self):
+        spec = make_spec()
+        reordered = spec.with_allocation_order(["b", "a"])
+        assert reordered.object_names() == ("b", "a")
+        # The original is unchanged and new objects are unregistered copies.
+        assert spec.object_names() == ("a", "b")
+        assert not reordered.objects[0].registered
+
+    def test_with_allocation_order_requires_permutation(self):
+        with pytest.raises(WorkloadError):
+            make_spec().with_allocation_order(["a"])
+
+    def test_with_init_only(self):
+        spec = make_spec().with_init_only(["b"])
+        assert spec.init_only_objects == ("b",)
+
+    def test_fresh_objects_are_unregistered_copies(self):
+        spec = make_spec()
+        fresh = spec.fresh_objects()
+        assert all(not obj.registered for obj in fresh)
+        assert [o.name for o in fresh] == ["a", "b"]
+        assert fresh[0] is not spec.objects[0]
+
+
+class TestWorkloadModelBase:
+    def test_build_input_bounds(self):
+        class Dummy(WorkloadModel):
+            name = "dummy"
+
+            def build(self, scale=1.0):
+                return make_spec(scale=scale)
+
+        model = Dummy()
+        assert model.build_input(0).scale == 1.0
+        assert model.build_input(2).scale == 4.0
+        with pytest.raises(WorkloadError):
+            model.build_input(5)
+        assert len(model.inputs()) == 3
+
+    def test_base_build_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            WorkloadModel().build()

@@ -1,0 +1,127 @@
+"""Tests for the six application behavioural models (Table 2)."""
+
+import pytest
+
+from repro.workloads import (
+    BFSModel,
+    HPLModel,
+    HypreModel,
+    NekRSModel,
+    SuperLUModel,
+    XSBenchModel,
+    all_models,
+    build_workload,
+    get_model,
+    table2_rows,
+    workload_names,
+)
+from repro.workloads.registry import WORKLOAD_MODELS
+from repro.config.errors import WorkloadError
+
+ALL_MODELS = [HPLModel(), HypreModel(), NekRSModel(), BFSModel(), SuperLUModel(), XSBenchModel()]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+class TestEveryModel:
+    def test_three_input_problems(self, model):
+        assert len(model.input_labels) == 3
+        assert model.input_scales == (1.0, 2.0, 4.0)
+
+    def test_footprints_scale_one_two_four(self, model):
+        footprints = [model.build(scale).footprint_bytes for scale in model.input_scales]
+        assert footprints[1] / footprints[0] == pytest.approx(2.0, rel=0.02)
+        assert footprints[2] / footprints[0] == pytest.approx(4.0, rel=0.02)
+
+    def test_footprint_in_plausible_range(self, model):
+        footprint_gb = model.build(1.0).footprint_bytes / 1e9
+        assert 0.5 < footprint_gb < 10.0
+
+    def test_has_init_and_compute_phase(self, model):
+        spec = model.build(1.0)
+        assert spec.phase_names[0] == "p1"
+        assert "p2" in spec.phase_names
+        # The compute phase dominates the flops.
+        assert spec.phase("p2").flops > spec.phase("p1").flops
+
+    def test_spec_is_self_consistent(self, model):
+        spec = model.build(1.0)
+        for phase in spec.phases:
+            assert sum(phase.object_traffic.values()) == pytest.approx(1.0)
+        assert spec.total_dram_bytes > 0
+
+    def test_rejects_nonpositive_scale(self, model):
+        with pytest.raises(ValueError):
+            model.build(0.0)
+
+    def test_nonstandard_scale_gets_generic_label(self, model):
+        spec = model.build(3.0)
+        assert spec.input_label == "x3"
+
+
+class TestCharacteristicDifferences:
+    def test_hpl_is_compute_bound(self):
+        spec = HPLModel().build(1.0)
+        assert spec.phase("p2").arithmetic_intensity > 50
+
+    def test_hypre_is_memory_bound(self):
+        spec = HypreModel().build(1.0)
+        assert spec.phase("p2").arithmetic_intensity < 1.0
+
+    def test_xsbench_has_negligible_prefetchable_stream(self):
+        spec = XSBenchModel().build(1.0)
+        assert spec.phase("p2").stream_fraction < 0.05
+
+    def test_nekrs_and_hypre_are_highly_prefetchable(self):
+        assert NekRSModel().build(1.0).phase("p2").stream_fraction >= 0.7
+        assert HypreModel().build(1.0).phase("p2").stream_fraction >= 0.7
+
+    def test_bfs_has_dynamic_frontier(self):
+        spec = BFSModel().build(1.0)
+        assert "frontier-heap" in spec.late_objects
+        assert spec.object("parents").size_bytes < spec.object("adjacency").size_bytes / 10
+
+    def test_superlu_has_three_phases(self):
+        assert SuperLUModel().build(1.0).phase_names == ("p1", "p2", "p3")
+
+    def test_superlu_hot_set_spreads_with_scale(self):
+        small = SuperLUModel().build(1.0).object("lu-factors").pattern
+        large = SuperLUModel().build(4.0).object("lu-factors").pattern
+        assert large.hot_fraction > small.hot_fraction
+        assert large.hot_traffic < small.hot_traffic
+
+    def test_bfs_skew_grows_with_scale(self):
+        small = BFSModel().build(1.0).object("adjacency").pattern
+        large = BFSModel().build(4.0).object("adjacency").pattern
+        assert large.alpha > small.alpha
+
+    def test_xsbench_lookup_traffic_grows_slower_than_footprint(self):
+        small = XSBenchModel().build(1.0)
+        large = XSBenchModel().build(4.0)
+        traffic_growth = large.phase("p2").dram_bytes / small.phase("p2").dram_bytes
+        footprint_growth = large.footprint_bytes / small.footprint_bytes
+        assert traffic_growth < footprint_growth / 2
+
+
+class TestRegistry:
+    def test_workload_names(self):
+        assert set(workload_names()) == {"HPL", "Hypre", "NekRS", "BFS", "SuperLU", "XSBench"}
+
+    def test_get_model_and_aliases(self):
+        assert get_model("XS").name == "XSBench"
+        assert get_model("HPL").name == "HPL"
+        with pytest.raises(WorkloadError):
+            get_model("NAMD")
+
+    def test_build_workload(self):
+        spec = build_workload("Hypre", 2.0)
+        assert spec.name == "Hypre"
+        assert spec.scale == 2.0
+
+    def test_all_models_matches_registry(self):
+        assert len(all_models()) == len(WORKLOAD_MODELS) == 6
+
+    def test_table2_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 6
+        assert rows[0]["application"] == "HPL"
+        assert all("input_problems" in row for row in rows)

@@ -1,0 +1,143 @@
+"""Tests for the RMAT generator and the BFS kernel, cross-checked with networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.errors import WorkloadError
+from repro.workloads.rmat import (
+    CSRGraph,
+    adjacency_access_counts,
+    bfs,
+    build_csr,
+    rmat_edges,
+    rmat_graph,
+)
+
+
+class TestRMATGeneration:
+    def test_edge_count_and_range(self):
+        edges = rmat_edges(scale=8, edge_factor=8, seed=0)
+        assert edges.shape == (256 * 8, 2)
+        assert edges.min() >= 0
+        assert edges.max() < 256
+
+    def test_deterministic(self):
+        a = rmat_edges(scale=6, seed=5)
+        b = rmat_edges(scale=6, seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = rmat_edges(scale=6, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_degree_distribution_is_skewed(self):
+        graph = rmat_graph(scale=10, edge_factor=8, seed=1)
+        degrees = np.sort(graph.degrees())[::-1]
+        top_share = degrees[: len(degrees) // 20].sum() / max(degrees.sum(), 1)
+        assert top_share > 0.15  # top 5% of vertices hold a disproportionate share
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            rmat_edges(scale=0)
+        with pytest.raises(WorkloadError):
+            rmat_edges(scale=5, a=0.9, b=0.2, c=0.2)
+
+
+class TestCSR:
+    def test_build_csr_symmetric(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        graph = build_csr(edges, n_vertices=4, symmetric=True)
+        assert graph.n_vertices == 4
+        assert graph.n_edges == 6  # each undirected edge stored twice
+        assert sorted(graph.neighbours(1).tolist()) == [0, 2]
+
+    def test_self_loops_dropped(self):
+        edges = np.array([[0, 0], [0, 1]])
+        graph = build_csr(edges, n_vertices=2, symmetric=True)
+        assert graph.n_edges == 2
+
+    def test_invalid_edge_list_shape(self):
+        with pytest.raises(WorkloadError):
+            build_csr(np.array([1, 2, 3]), n_vertices=4)
+
+    def test_csr_consistency_checks(self):
+        with pytest.raises(WorkloadError):
+            CSRGraph(offsets=np.array([0, 2]), edges=np.array([1]))
+        with pytest.raises(WorkloadError):
+            CSRGraph(offsets=np.array([0, 2, 1]), edges=np.array([1, 0]))
+
+    def test_memory_bytes(self):
+        graph = rmat_graph(scale=6, edge_factor=4, seed=0)
+        assert graph.memory_bytes() == graph.offsets.nbytes + graph.edges.nbytes
+
+
+class TestBFS:
+    def _to_networkx(self, graph: CSRGraph) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(range(graph.n_vertices))
+        for v in range(graph.n_vertices):
+            for w in graph.neighbours(v):
+                g.add_edge(int(v), int(w))
+        return g
+
+    def test_bfs_levels_match_networkx(self):
+        graph = rmat_graph(scale=8, edge_factor=6, seed=3)
+        result = bfs(graph, source=0)
+        nx_lengths = nx.single_source_shortest_path_length(self._to_networkx(graph), 0)
+        for vertex, depth in nx_lengths.items():
+            assert result.levels[vertex] == depth
+        assert result.n_reached == len(nx_lengths)
+
+    def test_unreached_vertices_marked(self):
+        # Two disconnected edges: 0-1 and 2-3.
+        graph = build_csr(np.array([[0, 1], [2, 3]]), n_vertices=4)
+        result = bfs(graph, source=0)
+        assert result.parents[2] == -1 and result.parents[3] == -1
+        assert result.n_reached == 2
+
+    def test_parents_are_valid_tree(self):
+        graph = rmat_graph(scale=7, edge_factor=8, seed=2)
+        result = bfs(graph, source=0)
+        reached = np.flatnonzero(result.parents >= 0)
+        for v in reached:
+            parent = result.parents[v]
+            if v == 0:
+                assert parent == 0
+                continue
+            # The parent must be an actual neighbour one level up.
+            assert result.levels[parent] == result.levels[v] - 1
+            assert v in graph.neighbours(parent)
+
+    def test_frontier_sizes_sum_to_reached(self):
+        graph = rmat_graph(scale=7, edge_factor=8, seed=2)
+        result = bfs(graph, source=0)
+        assert sum(result.frontier_sizes) == result.n_reached
+        assert result.max_frontier == max(result.frontier_sizes)
+
+    def test_invalid_source(self):
+        graph = rmat_graph(scale=5, seed=0)
+        with pytest.raises(WorkloadError):
+            bfs(graph, source=10_000)
+
+    def test_adjacency_access_counts(self):
+        graph = rmat_graph(scale=6, edge_factor=4, seed=0)
+        result = bfs(graph, source=0)
+        counts = adjacency_access_counts(graph, result)
+        visited = result.parents >= 0
+        np.testing.assert_array_equal(counts[visited], graph.degrees()[visited])
+        assert np.all(counts[~visited] == 0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(scale=st.integers(min_value=3, max_value=9), seed=st.integers(0, 1000))
+def test_bfs_reaches_only_connected_component(scale, seed):
+    graph = rmat_graph(scale=scale, edge_factor=4, seed=seed)
+    result = bfs(graph, source=0)
+    # Every reached vertex other than isolated source has a parent that is reached.
+    reached = result.parents >= 0
+    parents = result.parents[reached]
+    assert np.all(reached[parents])
+    # Levels increase by exactly one from parent to child.
+    child_levels = result.levels[reached]
+    parent_levels = result.levels[parents]
+    assert np.all((child_levels == parent_levels + 1) | (child_levels == 0))
