@@ -220,6 +220,47 @@ def figure12_bfs_case_study(
     return summary
 
 
+def figure_fabric_pool_timeline(
+    n_tenants: int = 4,
+    workload: str = "Hypre",
+    scale: float = 1.0,
+    local_fraction: float = 0.50,
+    pool_capacity_bytes: Optional[int] = None,
+    n_ports: int = 1,
+    stagger: float = 0.0,
+    seed: int = 0,
+) -> dict:
+    """Pool-telemetry timeline of a rack co-simulation (fabric extension).
+
+    Not a figure of the paper: it visualises the Section 7.2 extension the
+    :mod:`repro.fabric` subsystem implements — leased pool capacity, admission
+    queue depth and pool-port utilisation over time while ``n_tenants``
+    instances of ``workload`` share one rack, plus each tenant's emergent
+    background-interference timeline.
+    """
+    from ..fabric import FabricTopology, MemoryPool, RackCoSimulator, uniform_tenants
+    from ..workloads.registry import get_model
+
+    spec = get_model(workload).build(scale)
+    tenants = uniform_tenants(
+        spec, n_tenants, local_fraction=local_fraction, stagger=stagger
+    )
+    pool = (
+        MemoryPool(pool_capacity_bytes) if pool_capacity_bytes is not None else None
+    )
+    topology = FabricTopology(n_nodes=n_tenants, n_ports=n_ports)
+    result = RackCoSimulator(tenants, pool=pool, topology=topology, seed=seed).run()
+    backgrounds = {}
+    for outcome in result.finished_tenants:
+        times, lois = result.interference_for(outcome.name).loi_timeline()
+        backgrounds[outcome.name] = {"time": list(times), "loi": list(lois)}
+    return {
+        "timeline": result.telemetry.series(),
+        "tenant_background_loi": backgrounds,
+        "summary": result.summary(),
+    }
+
+
 def figure13_scheduling(
     scale: float = 1.0,
     n_runs: int = 100,

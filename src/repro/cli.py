@@ -8,6 +8,7 @@ Sub-commands map directly onto the paper's experiments::
     repro-dmem figure 8                # regenerate one figure's data
     repro-dmem bfs-case-study          # Section 7.1
     repro-dmem scheduling --runs 20    # Section 7.2 (reduced run count)
+    repro-dmem fabric --tenants 6      # rack co-simulation (Section 7.2 extension)
 """
 
 from __future__ import annotations
@@ -190,6 +191,32 @@ def cmd_scheduling(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fabric(args: argparse.Namespace) -> int:
+    """Rack-scale co-simulation: tenants sharing one memory pool (fabric extension)."""
+    from .config.units import GiB
+    from .fabric import FabricTopology, MemoryPool, RackCoSimulator, uniform_tenants
+
+    spec = build_workload(args.workload, args.scale)
+    tenants = uniform_tenants(
+        spec, args.tenants, local_fraction=args.local_fraction, stagger=args.stagger
+    )
+    pool = MemoryPool(int(args.pool_gb * GiB)) if args.pool_gb is not None else None
+    topology = FabricTopology(n_nodes=args.tenants, n_ports=args.ports)
+    simulator = RackCoSimulator(
+        tenants,
+        pool=pool,
+        topology=topology,
+        epoch_seconds=args.epoch_seconds,
+        seed=args.seed,
+    )
+    result = simulator.run()
+    output = result.summary()
+    if args.timeline:
+        output["timeline"] = result.telemetry.series()
+    _emit(output, args.json)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dmem",
@@ -224,6 +251,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched = sub.add_parser("scheduling", help="Section 7.2 case study")
     p_sched.add_argument("--runs", type=int, default=100)
     p_sched.set_defaults(func=cmd_scheduling)
+
+    p_fabric = sub.add_parser(
+        "fabric", help="rack-scale shared memory-pool co-simulation"
+    )
+    p_fabric.add_argument("--tenants", type=int, default=4, help="co-located tenants")
+    p_fabric.add_argument("--workload", default="Hypre", help="tenant workload")
+    p_fabric.add_argument("--scale", type=float, default=1.0, help="input scale factor")
+    p_fabric.add_argument(
+        "--local-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of each tenant's footprint served locally",
+    )
+    p_fabric.add_argument(
+        "--pool-gb",
+        type=float,
+        default=None,
+        help="pool capacity in GiB (default: enough for all tenants)",
+    )
+    p_fabric.add_argument("--ports", type=int, default=1, help="shared pool ports")
+    p_fabric.add_argument(
+        "--stagger", type=float, default=0.0, help="seconds between tenant arrivals"
+    )
+    p_fabric.add_argument(
+        "--epoch-seconds", type=float, default=None, help="co-simulation step"
+    )
+    p_fabric.add_argument(
+        "--timeline", action="store_true", help="include the pool telemetry timeline"
+    )
+    p_fabric.set_defaults(func=cmd_fabric)
 
     return parser
 

@@ -35,5 +35,9 @@ class SchedulingError(ReproError):
     """The cluster/scheduler model was asked to do something impossible."""
 
 
+class FabricError(ReproError):
+    """The rack fabric / memory-pool co-simulation was misconfigured or misused."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""

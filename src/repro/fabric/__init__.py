@@ -1,0 +1,48 @@
+"""Rack-scale shared memory-pool fabric co-simulation.
+
+The fabric subsystem models a whole rack of the paper's target architecture
+(Figure 2): a shared :class:`MemoryPool` with capacity leasing and admission
+control, a :class:`FabricTopology` of per-node links feeding shared pool
+ports, and a :class:`RackCoSimulator` that advances all tenants in epochs so
+interference between them is emergent rather than injected.
+:class:`DynamicInterference` carries the derived background timelines back
+into the single-node execution engine.
+"""
+
+from .cosim import (
+    RackCoSimResult,
+    RackCoSimulator,
+    RackTelemetry,
+    TenantOutcome,
+    TenantSpec,
+    uniform_tenants,
+)
+from .interference import DynamicInterference
+from .pool import (
+    LEASE_GRANTED,
+    LEASE_QUEUED,
+    LEASE_REJECTED,
+    LEASE_RELEASED,
+    Lease,
+    MemoryPool,
+    PoolSample,
+)
+from .topology import FabricTopology
+
+__all__ = [
+    "RackCoSimResult",
+    "RackCoSimulator",
+    "RackTelemetry",
+    "TenantOutcome",
+    "TenantSpec",
+    "uniform_tenants",
+    "DynamicInterference",
+    "LEASE_GRANTED",
+    "LEASE_QUEUED",
+    "LEASE_REJECTED",
+    "LEASE_RELEASED",
+    "Lease",
+    "MemoryPool",
+    "PoolSample",
+    "FabricTopology",
+]

@@ -1,0 +1,580 @@
+"""Rack co-simulation: tenants sharing a memory pool over a contended fabric.
+
+:class:`RackCoSimulator` closes the loop between the per-node execution engine
+and the rack: instead of injecting a configured Level of Interference, each
+tenant's effective pool bandwidth is **re-derived every epoch from what its
+co-runners are actually demanding** on the shared pool port.  Interference is
+emergent:
+
+1. every tenant first leases its remote capacity from the rack's
+   :class:`~repro.fabric.pool.MemoryPool` (granted / queued / rejected),
+2. each epoch, the offered bandwidth of every running tenant's current phase
+   is resolved through the :class:`~repro.fabric.topology.FabricTopology`,
+   giving each tenant the background its co-runners generate,
+3. the per-node performance model converts that background into the epoch's
+   progress rate, so a tenant in a bandwidth-hungry phase slows everyone on
+   its port down — and finishes later itself, prolonging the interference it
+   causes (the feedback the static-LoI model cannot express),
+4. completed tenants return their leases, admitting queued tenants.
+
+Baseline phase runtimes and traffic come from one interference-free
+:class:`~repro.sim.engine.ExecutionEngine` run per tenant, so the co-simulation
+inherits the full cache/prefetch/placement behaviour of the single-node model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..config.errors import FabricError
+from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
+from ..sim.engine import ExecutionEngine
+from ..sim.perfmodel import PerformanceModel, PhaseInputs
+from ..sim.platform import Platform
+from ..workloads.base import WorkloadSpec
+from .interference import DynamicInterference
+from .pool import LEASE_GRANTED, LEASE_QUEUED, LEASE_REJECTED, MemoryPool, PoolSample
+from .topology import FabricTopology
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the rack: a workload bound to a node and a pool share.
+
+    Attributes
+    ----------
+    name:
+        Unique tenant name (job identifier).
+    workload:
+        The workload specification the tenant executes.
+    local_fraction:
+        Fraction of the workload's footprint served by node-local memory; the
+        remainder is leased from the shared pool (the paper's 75/50/25 splits).
+    arrival:
+        Simulated submit time, seconds.
+    pool_bytes:
+        Explicit pool lease size; None derives it from the footprint and
+        ``local_fraction``.
+    """
+
+    name: str
+    workload: WorkloadSpec
+    local_fraction: float = 0.5
+    arrival: float = 0.0
+    pool_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.local_fraction <= 1.0:
+            raise FabricError(f"tenant {self.name!r}: local_fraction must be in (0, 1]")
+        if self.arrival < 0:
+            raise FabricError(f"tenant {self.name!r}: arrival must be >= 0")
+        if self.pool_bytes is not None and self.pool_bytes < 0:
+            raise FabricError(f"tenant {self.name!r}: pool_bytes must be >= 0")
+
+    @property
+    def lease_bytes(self) -> int:
+        """Pool capacity the tenant leases while it runs, bytes."""
+        if self.pool_bytes is not None:
+            return int(self.pool_bytes)
+        return int(round(self.workload.footprint_bytes * (1.0 - self.local_fraction)))
+
+
+def uniform_tenants(
+    workload: WorkloadSpec,
+    n: int,
+    local_fraction: float = 0.5,
+    stagger: float = 0.0,
+    pool_bytes: Optional[int] = None,
+) -> list[TenantSpec]:
+    """``n`` identical tenants of one workload, arrivals ``stagger`` s apart.
+
+    The shared constructor behind the CLI, the figure builder and the
+    benchmark sweep, so the tenant-naming and arrival conventions stay in one
+    place.
+    """
+    if n <= 0:
+        raise FabricError("need at least one tenant")
+    return [
+        TenantSpec(
+            name=f"{workload.name}-{i}",
+            workload=workload,
+            local_fraction=local_fraction,
+            arrival=i * stagger,
+            pool_bytes=pool_bytes,
+        )
+        for i in range(n)
+    ]
+
+
+@dataclass(frozen=True)
+class _PhaseProfile:
+    """Interference-free reference behaviour of one phase of one tenant."""
+
+    runtime: float
+    flops: float
+    local_bytes: float
+    remote_bytes: float
+    coverage: float
+    mlp: float
+    unit_time_idle: float
+
+    @property
+    def offered_bandwidth(self) -> float:
+        """Pool bandwidth the phase demands when running at full speed, bytes/s."""
+        return self.remote_bytes / max(self.runtime, 1e-12)
+
+
+class _TenantState:
+    """Mutable progress bookkeeping of one tenant during the co-simulation."""
+
+    def __init__(self, spec: TenantSpec, node: int) -> None:
+        self.spec = spec
+        self.node = node
+        self.lease = None
+        self.platform: Optional[Platform] = None
+        self.perf: Optional[PerformanceModel] = None
+        self.phases: tuple[_PhaseProfile, ...] = ()
+        self.baseline_runtime = 0.0
+        self.phase_index = 0
+        self.phase_elapsed = 0.0  # baseline-seconds completed in the current phase
+        self.finish_time: Optional[float] = None
+        self.background_times: list[float] = []
+        self.background_bandwidths: list[float] = []
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def running(self) -> bool:
+        return (
+            self.lease is not None
+            and self.lease.state == LEASE_GRANTED
+            and not self.finished
+        )
+
+    def current_offered_bandwidth(self) -> float:
+        if self.phase_index >= len(self.phases):
+            return 0.0
+        return self.phases[self.phase_index].offered_bandwidth
+
+
+@dataclass(frozen=True)
+class TenantOutcome:
+    """Final per-tenant statistics of one co-simulation run."""
+
+    name: str
+    workload: str
+    node: int
+    arrival: float
+    start_time: Optional[float]
+    finish_time: Optional[float]
+    baseline_runtime: float
+    lease_bytes: int
+    lease_state: str
+    mean_background_bandwidth: float
+
+    @property
+    def runtime(self) -> float:
+        """Wall-clock execution time while running (0 if the tenant never ran)."""
+        if self.start_time is None or self.finish_time is None:
+            return 0.0
+        return self.finish_time - self.start_time
+
+    @property
+    def wait_time(self) -> float:
+        """Delay between arrival and lease grant (0 if never granted)."""
+        if self.start_time is None:
+            return 0.0
+        return self.start_time - self.arrival
+
+    @property
+    def slowdown(self) -> float:
+        """Execution time relative to the interference-free baseline (>= ~1)."""
+        if self.runtime <= 0 or self.baseline_runtime <= 0:
+            return 1.0
+        return self.runtime / self.baseline_runtime
+
+
+@dataclass
+class RackTelemetry:
+    """Epoch-resolution timeline of the shared pool and its fabric ports."""
+
+    times: list[float] = field(default_factory=list)
+    leased_bytes: list[int] = field(default_factory=list)
+    queue_depth: list[int] = field(default_factory=list)
+    active_tenants: list[int] = field(default_factory=list)
+    max_port_utilization: list[float] = field(default_factory=list)
+    max_port_waiting_ns: list[float] = field(default_factory=list)
+
+    def record(
+        self, sample: PoolSample, utilization: float, waiting_seconds: float
+    ) -> None:
+        self.times.append(sample.time)
+        self.leased_bytes.append(sample.leased_bytes)
+        self.queue_depth.append(sample.queue_depth)
+        self.active_tenants.append(sample.active_leases)
+        self.max_port_utilization.append(utilization)
+        self.max_port_waiting_ns.append(waiting_seconds / 1e-9)
+
+    def series(self) -> dict:
+        """The timeline as plain arrays (for figures and JSON output)."""
+        return {
+            "time": list(self.times),
+            "leased_gb": [b / 1e9 for b in self.leased_bytes],
+            "queue_depth": list(self.queue_depth),
+            "active_tenants": list(self.active_tenants),
+            "max_port_utilization": list(self.max_port_utilization),
+            "max_port_waiting_ns": list(self.max_port_waiting_ns),
+        }
+
+
+@dataclass(frozen=True)
+class RackCoSimResult:
+    """Everything one rack co-simulation produced."""
+
+    tenants: tuple[TenantOutcome, ...]
+    telemetry: RackTelemetry
+    makespan: float
+    pool_capacity_bytes: int
+    max_leased_bytes: int
+    epoch_seconds: float
+    _interference: dict
+
+    @property
+    def finished_tenants(self) -> tuple[TenantOutcome, ...]:
+        """Tenants that ran to completion."""
+        return tuple(t for t in self.tenants if t.finish_time is not None)
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Average slowdown of the finished tenants."""
+        finished = self.finished_tenants
+        if not finished:
+            return 1.0
+        return float(np.mean([t.slowdown for t in finished]))
+
+    @property
+    def mean_runtime(self) -> float:
+        """Average wall-clock execution time of the finished tenants."""
+        finished = self.finished_tenants
+        if not finished:
+            return 0.0
+        return float(np.mean([t.runtime for t in finished]))
+
+    def tenant(self, name: str) -> TenantOutcome:
+        """Look up one tenant's outcome by name."""
+        for outcome in self.tenants:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(f"no tenant named {name!r}")
+
+    def interference_for(self, name: str) -> DynamicInterference:
+        """The background-bandwidth timeline a tenant experienced, as an
+        :class:`~repro.sim.interference.InterferenceSource` for the engine."""
+        try:
+            return self._interference[name]
+        except KeyError as exc:
+            raise FabricError(
+                f"tenant {name!r} never ran, so no interference timeline exists"
+            ) from exc
+
+    def summary(self) -> dict:
+        """Aggregate + per-tenant summary (CLI/benchmark friendly)."""
+        return {
+            "makespan": self.makespan,
+            "mean_slowdown": self.mean_slowdown,
+            "mean_runtime": self.mean_runtime,
+            "pool_capacity_gb": self.pool_capacity_bytes / 1e9,
+            "max_leased_gb": self.max_leased_bytes / 1e9,
+            "epoch_seconds": self.epoch_seconds,
+            "tenants": [
+                {
+                    "name": t.name,
+                    "workload": t.workload,
+                    "node": t.node,
+                    "lease_state": t.lease_state,
+                    "lease_gb": t.lease_bytes / 1e9,
+                    "wait_s": t.wait_time,
+                    "runtime_s": t.runtime,
+                    "baseline_s": t.baseline_runtime,
+                    "slowdown": t.slowdown,
+                    "mean_background_gbs": t.mean_background_bandwidth / 1e9,
+                }
+                for t in self.tenants
+            ],
+        }
+
+
+class RackCoSimulator:
+    """Epoch-driven co-simulation of tenants sharing one rack's memory pool.
+
+    Parameters
+    ----------
+    tenants:
+        The tenants to co-schedule (unique names required).
+    pool:
+        The shared memory pool; None builds one big enough for all tenants.
+    topology:
+        The fabric wiring; None builds a single-port fabric with one node per
+        tenant (tenant ``i`` runs on node ``i``).
+    testbed:
+        Platform description used for per-node engines and default fabric.
+    epoch_seconds:
+        Co-simulation step; None picks ~1/40 of the longest baseline runtime.
+    seed:
+        Seed for the per-tenant execution engines.
+    """
+
+    #: Hard bound on epochs so mis-configured runs terminate with a clear error.
+    MAX_EPOCHS = 200_000
+
+    def __init__(
+        self,
+        tenants: Sequence[TenantSpec],
+        pool: Optional[MemoryPool] = None,
+        topology: Optional[FabricTopology] = None,
+        testbed: TestbedConfig = SKYLAKE_EMULATION,
+        epoch_seconds: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        if not tenants:
+            raise FabricError("the rack needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise FabricError("tenant names must be unique")
+        self.tenants = tuple(tenants)
+        self.testbed = testbed
+        self.topology = (
+            topology
+            if topology is not None
+            else FabricTopology(n_nodes=len(tenants), n_ports=1, testbed=testbed)
+        )
+        if self.topology.n_nodes < len(tenants):
+            raise FabricError(
+                f"fabric has {self.topology.n_nodes} nodes but {len(tenants)} tenants"
+            )
+        if pool is None:
+            total = sum(max(t.lease_bytes, 1) for t in tenants)
+            pool = MemoryPool(capacity_bytes=total)
+        self.pool = pool
+        self.seed = int(seed)
+        if epoch_seconds is not None and epoch_seconds <= 0:
+            raise FabricError("epoch_seconds must be positive")
+        self._epoch_seconds = epoch_seconds
+
+    # -- baseline profiling ---------------------------------------------------------
+
+    def _profile_tenant(self, state: _TenantState, cache: dict) -> None:
+        """Run the tenant once, interference-free, to get its reference phases.
+
+        Tenants sharing the same workload object and local fraction are
+        behaviourally identical, so their (expensive) baseline engine run is
+        computed once and shared — the common many-identical-tenants sweep
+        profiles O(unique specs) instead of O(tenants).
+        """
+        spec = state.spec
+        # Contention during the co-simulation is resolved on the tenant's pool
+        # port, which may be provisioned differently from the node's own link.
+        # All ports are built identically, so the cached profile is port-safe.
+        port_link = self.topology.link_of(state.node)
+        state.perf = PerformanceModel(self.testbed, port_link)
+        key = (id(spec.workload), spec.local_fraction)
+        if key not in cache:
+            platform = Platform.pooled(
+                spec.workload.footprint_bytes, spec.local_fraction, testbed=self.testbed
+            )
+            result = ExecutionEngine(platform, seed=self.seed).run(spec.workload)
+            profiles = []
+            for phase_spec, phase in zip(spec.workload.phases, result.phases):
+                profile = _PhaseProfile(
+                    runtime=phase.runtime,
+                    flops=phase.flops,
+                    local_bytes=phase.local_bytes,
+                    remote_bytes=phase.remote_bytes,
+                    coverage=phase.prefetch_coverage,
+                    mlp=phase_spec.mlp,
+                    unit_time_idle=1.0,
+                )
+                profiles.append(
+                    replace(
+                        profile, unit_time_idle=self._unit_time(state, profile, 0.0)
+                    )
+                )
+            cache[key] = (platform, tuple(profiles))
+        state.platform, state.phases = cache[key]
+        state.baseline_runtime = float(sum(p.runtime for p in state.phases))
+
+    def _unit_time(
+        self, state: _TenantState, profile: _PhaseProfile, background: float
+    ) -> float:
+        """Wall time for one baseline-second of a phase under ``background``."""
+        runtime = max(profile.runtime, 1e-12)
+        inputs = PhaseInputs(
+            flops=profile.flops / runtime,
+            local_demand_bytes=profile.local_bytes / runtime,
+            remote_demand_bytes=profile.remote_bytes / runtime,
+            prefetch_coverage=profile.coverage,
+            mlp=profile.mlp,
+            background_bandwidth=background,
+        )
+        return max(state.perf.phase_time(inputs).runtime, 1e-12)
+
+    def _progress_rate(self, state: _TenantState, profile: _PhaseProfile, background: float) -> float:
+        """Baseline-seconds of phase progress per wall-clock second.
+
+        Normalised against the same model at zero background, so slowdowns are
+        exactly 1 on an idle fabric regardless of model details.
+        """
+        return profile.unit_time_idle / self._unit_time(state, profile, background)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> RackCoSimResult:
+        """Co-simulate all tenants to completion (or rejection)."""
+        states = [_TenantState(spec, node=i) for i, spec in enumerate(self.tenants)]
+        profile_cache: dict = {}
+        for state in states:
+            self._profile_tenant(state, profile_cache)
+
+        epoch_seconds = self._epoch_seconds
+        if epoch_seconds is None:
+            longest = max(s.baseline_runtime for s in states)
+            epoch_seconds = max(longest / 40.0, 1e-6)
+
+        telemetry = RackTelemetry()
+        clock = 0.0
+        max_leased = 0
+        for _ in range(self.MAX_EPOCHS):
+            # Submit arrivals.
+            for state in states:
+                if state.lease is None and state.spec.arrival <= clock:
+                    state.lease = self.pool.request(
+                        state.spec.name, state.spec.lease_bytes, time=clock
+                    )
+            max_leased = max(max_leased, self.pool.leased_bytes)
+
+            running = [s for s in states if s.running]
+            waiting = [
+                s for s in states if s.lease is not None and s.lease.state == LEASE_QUEUED
+            ]
+            if not running:
+                future = [
+                    s.spec.arrival
+                    for s in states
+                    if s.lease is None and s.spec.arrival > clock
+                ]
+                if future:
+                    clock = min(future)
+                    continue
+                # Nothing runs and nothing will release capacity: any queued
+                # request can never be admitted.
+                for state in waiting:
+                    self.pool.release(state.lease, time=clock)
+                    state.lease.state = LEASE_REJECTED
+                break
+
+            # Resolve this epoch's emergent interference from all co-runners:
+            # what each tenant experiences as background is what the others
+            # actually *deliver* through the shared port, not what they ask for.
+            demands = {s.node: s.current_offered_bandwidth() for s in running}
+            delivered = self.topology.resolve(demands)
+            backgrounds = {
+                s.node: self.topology.background_for(s.node, delivered) for s in running
+            }
+            for state in running:
+                state.background_times.append(clock)
+                state.background_bandwidths.append(backgrounds[state.node])
+
+            ports_in_use = {self.topology.port_of(s.node) for s in running}
+            telemetry.record(
+                self.pool.sample(clock),
+                utilization=max(
+                    self.topology.port_utilization(p, demands) for p in ports_in_use
+                ),
+                waiting_seconds=max(
+                    self.topology.port_waiting_time(p, demands) for p in ports_in_use
+                ),
+            )
+
+            # Advance every running tenant through the epoch.
+            epoch_end = clock + epoch_seconds
+            for state in running:
+                used = self._advance(state, backgrounds[state.node], epoch_seconds)
+                if used is not None:
+                    state.finish_time = clock + used
+                    self.pool.release(state.lease, time=epoch_end)
+            clock = epoch_end
+        else:
+            raise FabricError(
+                f"co-simulation did not terminate within {self.MAX_EPOCHS} epochs"
+            )
+
+        makespan = max((s.finish_time for s in states if s.finished), default=0.0)
+        interference = {
+            s.spec.name: DynamicInterference(
+                s.background_times,
+                s.background_bandwidths,
+                link=self.topology.link_of(s.node),
+            )
+            for s in states
+            if s.background_times
+        }
+        outcomes = tuple(
+            TenantOutcome(
+                name=s.spec.name,
+                workload=s.spec.workload.name,
+                node=s.node,
+                arrival=s.spec.arrival,
+                start_time=s.lease.granted_at if s.lease is not None else None,
+                finish_time=s.finish_time,
+                baseline_runtime=s.baseline_runtime,
+                lease_bytes=s.spec.lease_bytes,
+                lease_state=s.lease.state if s.lease is not None else LEASE_REJECTED,
+                mean_background_bandwidth=(
+                    float(np.mean(s.background_bandwidths))
+                    if s.background_bandwidths
+                    else 0.0
+                ),
+            )
+            for s in states
+        )
+        return RackCoSimResult(
+            tenants=outcomes,
+            telemetry=telemetry,
+            makespan=makespan,
+            pool_capacity_bytes=self.pool.capacity_bytes,
+            max_leased_bytes=max_leased,
+            epoch_seconds=epoch_seconds,
+            _interference=interference,
+        )
+
+    def _advance(
+        self, state: _TenantState, background: float, dt: float
+    ) -> Optional[float]:
+        """Advance a tenant by ``dt`` wall-seconds under ``background``.
+
+        Returns the wall time actually consumed if the tenant finished inside
+        the epoch, else None.  Phase boundaries inside the epoch are honoured:
+        the next phase runs at its own rate (the background map, however, is
+        only refreshed at epoch granularity).
+        """
+        used = 0.0
+        while used < dt and state.phase_index < len(state.phases):
+            profile = state.phases[state.phase_index]
+            rate = self._progress_rate(state, profile, background)
+            baseline_remaining = profile.runtime - state.phase_elapsed
+            wall_needed = baseline_remaining / rate
+            if wall_needed <= (dt - used) + 1e-12:
+                used += wall_needed
+                state.phase_index += 1
+                state.phase_elapsed = 0.0
+            else:
+                state.phase_elapsed += (dt - used) * rate
+                used = dt
+        if state.phase_index >= len(state.phases):
+            return used
+        return None

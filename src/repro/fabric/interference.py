@@ -1,0 +1,80 @@
+"""Adapter feeding fabric-derived interference back into the single-node engine.
+
+The existing interference sources (:mod:`repro.sim.interference`) inject a
+*static or randomly redrawn* background level.  The rack co-simulation instead
+*derives* each tenant's background from its co-runners' demand, epoch by
+epoch.  :class:`DynamicInterference` packages such a derived timeline as an
+:class:`~repro.sim.interference.InterferenceSource`, so a tenant's run can be
+replayed through the ordinary :class:`~repro.sim.engine.ExecutionEngine` with
+the interference the fabric actually produced — closing the loop the paper's
+Section 7.2 extension sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config.errors import FabricError
+from ..interconnect.link import RemoteLink
+
+
+class DynamicInterference:
+    """A piecewise-constant background-bandwidth timeline from the fabric.
+
+    Parameters
+    ----------
+    times:
+        Start time of each sample (strictly increasing, first usually 0).
+    bandwidths:
+        Background data bandwidth (bytes/s) from each sample's start until the
+        next; the last value holds beyond the end of the timeline.
+    link:
+        The pool-port link the timeline was recorded on — used to express the
+        samples as Levels of Interference for reporting.
+    """
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        bandwidths: Sequence[float],
+        link: RemoteLink,
+    ) -> None:
+        times_arr = np.asarray(list(times), dtype=np.float64)
+        bw_arr = np.asarray(list(bandwidths), dtype=np.float64)
+        if len(times_arr) == 0 or len(times_arr) != len(bw_arr):
+            raise FabricError("need matching, non-empty time and bandwidth samples")
+        if np.any(np.diff(times_arr) <= 0):
+            raise FabricError("sample times must be strictly increasing")
+        if np.any(bw_arr < 0):
+            raise FabricError("background bandwidth cannot be negative")
+        self.times = times_arr
+        self.bandwidths = bw_arr
+        self._lois = np.array([link.loi(bw) for bw in bw_arr])
+
+    # -- InterferenceSource protocol ----------------------------------------------
+
+    def background_bandwidth(self, link: RemoteLink, time: float) -> float:
+        """Recorded background bandwidth at simulated ``time``, bytes/s.
+
+        The ``link`` argument is part of the protocol but unused: the timeline
+        already *is* bandwidth, derived on the fabric it was recorded on.
+        """
+        index = int(np.searchsorted(self.times, time, side="right")) - 1
+        return float(self.bandwidths[max(index, 0)])
+
+    def mean_loi(self) -> float:
+        """Average Level of Interference over the recorded timeline, percent."""
+        return float(self._lois.mean())
+
+    # -- reporting -----------------------------------------------------------------
+
+    def loi_timeline(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sample times, LoI values) of the recorded background."""
+        return self.times.copy(), self._lois.copy()
+
+    @property
+    def peak_loi(self) -> float:
+        """Highest Level of Interference in the timeline, percent."""
+        return float(self._lois.max())

@@ -1,0 +1,214 @@
+"""Shared memory pool with capacity leasing and admission control.
+
+The paper's target architecture (Figure 2) gives every rack one
+fabric-attached memory pool that all compute nodes borrow capacity from.
+:class:`MemoryPool` models the pool-side resource manager sketched in the
+Section 7.2 extension: tenants *request* remote capacity before they start,
+the pool either **grants** the lease, **queues** the request until enough
+capacity is released, or **rejects** it outright when it could never fit.
+Leases are returned on job completion, at which point queued requests are
+admitted in FIFO order.
+
+The pool only manages *capacity*; bandwidth contention on the way to the pool
+is the :class:`~repro.fabric.topology.FabricTopology`'s job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config.errors import FabricError
+
+#: Lease lifecycle states.
+LEASE_GRANTED = "granted"
+LEASE_QUEUED = "queued"
+LEASE_REJECTED = "rejected"
+LEASE_RELEASED = "released"
+
+
+@dataclass
+class Lease:
+    """One tenant's claim on pool capacity.
+
+    Attributes
+    ----------
+    lease_id:
+        Monotonic identifier assigned by the pool.
+    tenant:
+        Name of the requesting tenant (job / node).
+    nbytes:
+        Requested pool capacity in bytes.
+    state:
+        One of ``granted``, ``queued``, ``rejected`` or ``released``.
+    requested_at / granted_at / released_at:
+        Simulated timestamps of the lease lifecycle (None until reached).
+    """
+
+    lease_id: int
+    tenant: str
+    nbytes: int
+    state: str
+    requested_at: float
+    granted_at: Optional[float] = None
+    released_at: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the lease currently occupies pool capacity."""
+        return self.state == LEASE_GRANTED
+
+    @property
+    def wait_time(self) -> float:
+        """Time the request spent queued before being granted (0 if immediate)."""
+        if self.granted_at is None:
+            return 0.0
+        return self.granted_at - self.requested_at
+
+
+@dataclass(frozen=True)
+class PoolSample:
+    """One telemetry sample of the pool's state."""
+
+    time: float
+    leased_bytes: int
+    queue_depth: int
+    active_leases: int
+
+
+class MemoryPool:
+    """Rack-level disaggregated memory pool with admission control.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total capacity of the pool in bytes.
+    name:
+        Human-readable pool name used in telemetry/reports.
+
+    Admission is first-come-first-served with head-of-line blocking: queued
+    requests are admitted strictly in arrival order, so a large queued request
+    is never starved by smaller ones arriving later.
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = "pool-0") -> None:
+        if capacity_bytes <= 0:
+            raise FabricError("pool capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self.name = name
+        self._leases: list[Lease] = []
+        self._queue: list[Lease] = []
+        self._next_id = 0
+
+    # -- state ---------------------------------------------------------------------
+
+    @property
+    def leased_bytes(self) -> int:
+        """Capacity currently granted to tenants, bytes."""
+        return sum(l.nbytes for l in self._leases if l.active)
+
+    @property
+    def free_bytes(self) -> int:
+        """Capacity available for new grants, bytes."""
+        return self.capacity_bytes - self.leased_bytes
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of requests waiting for capacity."""
+        return len(self._queue)
+
+    @property
+    def active_leases(self) -> tuple[Lease, ...]:
+        """All currently granted leases."""
+        return tuple(l for l in self._leases if l.active)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of pool capacity currently leased."""
+        return self.leased_bytes / self.capacity_bytes
+
+    def sample(self, time: float) -> PoolSample:
+        """Capture a telemetry sample of the pool at ``time``."""
+        return PoolSample(
+            time=float(time),
+            leased_bytes=self.leased_bytes,
+            queue_depth=self.queue_depth,
+            active_leases=len(self.active_leases),
+        )
+
+    # -- leasing -------------------------------------------------------------------
+
+    def request(self, tenant: str, nbytes: int, time: float = 0.0) -> Lease:
+        """Request ``nbytes`` of pool capacity for ``tenant``.
+
+        Returns a :class:`Lease` whose state tells the caller what happened:
+        ``granted`` (capacity reserved immediately), ``queued`` (will be
+        granted by a later :meth:`release`) or ``rejected`` (the request can
+        never be satisfied because it exceeds the pool's total capacity).
+        A zero-byte request is granted trivially — the tenant simply does not
+        use the pool.
+        """
+        if nbytes < 0:
+            raise FabricError("cannot request a negative amount of pool capacity")
+        lease = Lease(
+            lease_id=self._next_id,
+            tenant=tenant,
+            nbytes=int(nbytes),
+            state=LEASE_QUEUED,
+            requested_at=float(time),
+        )
+        self._next_id += 1
+        self._leases.append(lease)
+        if lease.nbytes > self.capacity_bytes:
+            lease.state = LEASE_REJECTED
+        elif lease.nbytes == 0 or (lease.nbytes <= self.free_bytes and not self._queue):
+            # Zero-byte requests occupy nothing, so they never wait behind the
+            # queue; non-zero requests must not overtake earlier queued ones.
+            lease.state = LEASE_GRANTED
+            lease.granted_at = float(time)
+        else:
+            self._queue.append(lease)
+        return lease
+
+    def release(self, lease: Lease, time: float = 0.0) -> list[Lease]:
+        """Return a granted lease to the pool and admit queued requests.
+
+        Returns the leases that became granted as a consequence (in FIFO
+        order), so a co-simulator can start the corresponding tenants.
+        """
+        if lease.state == LEASE_QUEUED:
+            # Cancelling a queued request is allowed (e.g. a tenant gives up).
+            self._queue.remove(lease)
+            lease.state = LEASE_RELEASED
+            lease.released_at = float(time)
+            return self._admit(time)
+        if lease.state != LEASE_GRANTED:
+            raise FabricError(
+                f"lease {lease.lease_id} of {lease.tenant!r} is {lease.state}, "
+                "only granted or queued leases can be released"
+            )
+        lease.state = LEASE_RELEASED
+        lease.released_at = float(time)
+        return self._admit(time)
+
+    def _admit(self, time: float) -> list[Lease]:
+        """Grant queued requests from the head of the queue while they fit."""
+        admitted: list[Lease] = []
+        while self._queue and self._queue[0].nbytes <= self.free_bytes:
+            lease = self._queue.pop(0)
+            lease.state = LEASE_GRANTED
+            lease.granted_at = float(time)
+            admitted.append(lease)
+        return admitted
+
+    def describe(self) -> dict:
+        """Summary of the pool state."""
+        return {
+            "name": self.name,
+            "capacity_bytes": self.capacity_bytes,
+            "leased_bytes": self.leased_bytes,
+            "free_bytes": self.free_bytes,
+            "utilization": self.utilization,
+            "queue_depth": self.queue_depth,
+            "active_leases": len(self.active_leases),
+        }

@@ -1,0 +1,205 @@
+"""Fabric topology: per-node links feeding shared memory-pool ports.
+
+Every compute node reaches the rack's memory pool through its own node link
+(bounded by the testbed's per-node sustainable remote bandwidth) into one of a
+small number of shared **pool ports**.  A port is where interference becomes
+emergent: its utilisation is computed from *all* concurrent tenants' offered
+bandwidth demands, and the contention-induced waiting time comes from the same
+:mod:`repro.interconnect.queueing` models the single-node simulator uses
+(Section 3.2's M/M/1 explanation of why contention keeps growing past counter
+saturation).
+
+The topology is stateless: callers pass the current per-node demand map and
+get back background bandwidth, utilisation and link shares.  The
+:class:`~repro.fabric.cosim.RackCoSimulator` drives it epoch by epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from ..config.errors import FabricError
+from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
+from ..interconnect.link import LinkShare, RemoteLink
+from ..interconnect.queueing import QueueingModel
+
+
+class FabricTopology:
+    """Rack fabric: ``n_nodes`` node links feeding ``n_ports`` shared pool ports.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of compute nodes in the rack.
+    n_ports:
+        Number of pool-side fabric ports; nodes are assigned round-robin
+        (node ``i`` uses port ``i % n_ports``).  One port shared by every node
+        is the paper's emulation setup scaled out.
+    testbed:
+        Platform description providing the per-node link bandwidth, latency
+        and the port's peak traffic / protocol overhead.
+    port_capacity_scale:
+        Multiplier (>= 1) on the testbed's peak link traffic for each pool
+        port — a real pool port is often provisioned wider than one node link.
+    queueing:
+        Contention model shared by all ports (defaults to the link's M/M/1).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_ports: int = 1,
+        testbed: TestbedConfig = SKYLAKE_EMULATION,
+        port_capacity_scale: float = 1.0,
+        queueing: QueueingModel | None = None,
+    ) -> None:
+        if n_nodes <= 0:
+            raise FabricError("a fabric needs at least one node")
+        if n_ports <= 0:
+            raise FabricError("a fabric needs at least one pool port")
+        if port_capacity_scale < 1.0:
+            raise FabricError("port_capacity_scale must be >= 1")
+        self.n_nodes = int(n_nodes)
+        self.n_ports = int(n_ports)
+        self.testbed = testbed
+        port_testbed = (
+            testbed
+            if port_capacity_scale == 1.0
+            else replace(
+                testbed, link_peak_traffic=testbed.link_peak_traffic * port_capacity_scale
+            )
+        )
+        #: One shared link model per pool port.
+        self.ports: tuple[RemoteLink, ...] = tuple(
+            RemoteLink(port_testbed, queueing) for _ in range(self.n_ports)
+        )
+
+    # -- wiring --------------------------------------------------------------------
+
+    def port_of(self, node: int) -> int:
+        """Index of the pool port node ``node`` is wired to."""
+        if not 0 <= node < self.n_nodes:
+            raise FabricError(f"node {node} is not part of this {self.n_nodes}-node fabric")
+        return node % self.n_ports
+
+    def nodes_on_port(self, port: int) -> tuple[int, ...]:
+        """All nodes sharing pool port ``port``."""
+        if not 0 <= port < self.n_ports:
+            raise FabricError(f"port {port} does not exist (fabric has {self.n_ports})")
+        return tuple(n for n in range(self.n_nodes) if n % self.n_ports == port)
+
+    def link_of(self, node: int) -> RemoteLink:
+        """The shared link model behind node ``node``'s pool port."""
+        return self.ports[self.port_of(node)]
+
+    # -- demand resolution ------------------------------------------------------------
+
+    def _node_demand(self, node: int, demands: Mapping[int, float]) -> float:
+        """One node's offered pool bandwidth, clipped to its node link."""
+        return min(max(float(demands.get(node, 0.0)), 0.0), self.testbed.remote_bandwidth)
+
+    def offered_on_port(self, port: int, demands: Mapping[int, float]) -> float:
+        """Total data bandwidth offered to ``port`` by all its nodes, bytes/s."""
+        return sum(self._node_demand(n, demands) for n in self.nodes_on_port(port))
+
+    def background_for(self, node: int, demands: Mapping[int, float]) -> float:
+        """Bandwidth a node's co-runners offer on its shared port, bytes/s.
+
+        This is what the node experiences as *background interference*: the sum
+        of every other tenant's demand on the same pool port, each clipped to
+        what its own node link can carry.
+        """
+        port = self.port_of(node)
+        return sum(
+            self._node_demand(n, demands)
+            for n in self.nodes_on_port(port)
+            if n != node
+        )
+
+    def resolve(
+        self,
+        demands: Mapping[int, float],
+        iterations: int = 64,
+        damping: float | None = None,
+        tolerance: float = 1e6,
+    ) -> dict[int, float]:
+        """Delivered bandwidth per node under mutual port contention, bytes/s.
+
+        Every node's delivered bandwidth depends on how much its co-runners
+        actually move (not on what they merely ask for: a throttled co-runner
+        stops eating capacity it cannot use), so the allocation is resolved
+        with a damped fixed point.  Symmetric overload converges to a fair
+        share of the port's data capacity, which is how real coherent fabrics
+        behave under saturation.
+
+        A node's update direction couples to the sum of its co-runners'
+        values, so the iteration map has a slope of about ``-(k - 1)`` for
+        ``k`` nodes sharing a port; the default damping of ``1/k`` cancels
+        that slope and makes the iteration contract for any sharing degree
+        (an explicit ``damping`` overrides it).  ``tolerance`` is the
+        convergence threshold in bytes/s (1 MB/s by default — far below any
+        bandwidth that matters here).
+        """
+        if damping is not None and not 0.0 < damping <= 1.0:
+            raise FabricError("damping must be in (0, 1]")
+        if damping is None:
+            max_sharing = max(
+                (
+                    sum(1 for other in demands if self.port_of(other) == self.port_of(node))
+                    for node in demands
+                ),
+                default=1,
+            )
+            damping = 1.0 / max(max_sharing, 1)
+        delivered = {n: self._node_demand(n, demands) for n in demands}
+        for _ in range(max(int(iterations), 1)):
+            max_delta = 0.0
+            updated: dict[int, float] = {}
+            for node in delivered:
+                offered = self._node_demand(node, demands)
+                background = sum(
+                    delivered[other]
+                    for other in self.nodes_on_port(self.port_of(node))
+                    if other != node and other in delivered
+                )
+                share = self.link_of(node).share(offered, background)
+                target = min(offered, share.available_bandwidth)
+                new_value = delivered[node] + damping * (target - delivered[node])
+                max_delta = max(max_delta, abs(new_value - delivered[node]))
+                updated[node] = new_value
+            delivered = updated
+            if max_delta < tolerance:
+                break
+        return delivered
+
+    def share_for(self, node: int, demands: Mapping[int, float]) -> LinkShare:
+        """Resolve port contention from one node's perspective.
+
+        The node's own demand competes with the background from its
+        co-runners; the returned :class:`LinkShare` carries the available
+        bandwidth, total port utilisation and queueing delay.
+        """
+        link = self.link_of(node)
+        return link.share(
+            self._node_demand(node, demands), self.background_for(node, demands)
+        )
+
+    def port_utilization(self, port: int, demands: Mapping[int, float]) -> float:
+        """Utilisation of a pool port under the given demands (can exceed 1)."""
+        return self.ports[port].utilization(self.offered_on_port(port, demands))
+
+    def port_waiting_time(self, port: int, demands: Mapping[int, float]) -> float:
+        """Queueing delay at a pool port under the given demands, seconds."""
+        link = self.ports[port]
+        return link.latency_under_load(self.offered_on_port(port, demands)) - link.idle_latency
+
+    def describe(self) -> dict:
+        """Summary of the fabric wiring."""
+        return {
+            "n_nodes": self.n_nodes,
+            "n_ports": self.n_ports,
+            "node_bandwidth_gbs": self.testbed.remote_bandwidth / 1e9,
+            "port_data_capacity_gbs": self.ports[0].data_capacity / 1e9,
+            "port_map": {node: self.port_of(node) for node in range(self.n_nodes)},
+        }

@@ -7,6 +7,7 @@ from .policies import (
     LeastLoadedPlacement,
     PlacementPolicy,
     POLICIES,
+    PoolAwarePlacement,
     RandomPlacement,
     make_policy,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "LeastLoadedPlacement",
     "PlacementPolicy",
     "POLICIES",
+    "PoolAwarePlacement",
     "RandomPlacement",
     "make_policy",
     "ClusterSimulator",

@@ -111,10 +111,70 @@ class InterferenceAwarePlacement:
         return min(candidates, key=lambda rack: rack.aggregate_loi())
 
 
+@dataclass
+class PoolAwarePlacement:
+    """Places jobs where the memory pool has headroom and the pool port is calm.
+
+    This is the placement view of the :mod:`repro.fabric` co-simulation: a job
+    draws two distinct rack resources — pool *capacity* (its lease) and pool
+    *port bandwidth* (its traffic).  A rack whose pool is nearly exhausted
+    would queue the job's lease; a rack whose port already runs hot would slow
+    everyone down.  The policy scores each candidate rack by the projected
+    state *after* placing the job,
+
+    ``score = capacity_weight · pool-utilisation + (1 − capacity_weight) · port-utilisation``,
+
+    and picks the lowest.  Racks whose projected port utilisation exceeds
+    ``max_port_utilization`` are avoided entirely unless no other rack can
+    host the job (graceful degradation under pressure, like the
+    interference-aware policy).  Port utilisation is estimated from the
+    co-runners' induced LoI, which is the link-traffic share their pool
+    traffic occupies.
+    """
+
+    max_port_utilization: float = 0.9
+    capacity_weight: float = 0.5
+    name: str = "pool-aware"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.capacity_weight <= 1.0:
+            raise SchedulingError("capacity_weight must be in [0, 1]")
+        if self.max_port_utilization <= 0:
+            raise SchedulingError("max_port_utilization must be positive")
+
+    def _projected(self, rack: Rack, job: Job) -> tuple[float, float]:
+        """(pool utilisation, port utilisation) if ``job`` landed in ``rack``."""
+        pool_util = (rack.pool_used_gb + job.profile.pool_gb) / max(
+            rack.pool_capacity_gb, 1e-9
+        )
+        port_util = (rack.aggregate_loi() + job.profile.induced_loi) / 100.0
+        return pool_util, port_util
+
+    def choose_rack(self, cluster: Cluster, job: Job, rng: np.random.Generator) -> Optional[Rack]:
+        candidates = cluster.candidate_racks(job)
+        if not candidates:
+            return None
+
+        def score(rack: Rack) -> float:
+            pool_util, port_util = self._projected(rack, job)
+            return (
+                self.capacity_weight * pool_util
+                + (1.0 - self.capacity_weight) * port_util
+            )
+
+        acceptable = [
+            rack
+            for rack in candidates
+            if self._projected(rack, job)[1] <= self.max_port_utilization
+        ]
+        return min(acceptable if acceptable else candidates, key=score)
+
+
 POLICIES = {
     "random": RandomPlacement,
     "least-loaded": LeastLoadedPlacement,
     "interference-aware": InterferenceAwarePlacement,
+    "pool-aware": PoolAwarePlacement,
 }
 
 

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..cache import events
 from ..cache.events import CounterSet
-from ..config.errors import WorkloadError
+from ..config.errors import ConfigurationError, WorkloadError
 from ..memory.objects import AddressSpace, MemoryObject
 from ..memory.tiered import TieredMemory
 from ..trace.access import PageAccessProfile
@@ -40,19 +40,43 @@ from .results import ObjectPlacementResult, PhaseResult, RunResult
 
 @dataclass(frozen=True)
 class TierTraffic:
-    """Per-tier demand traffic of one phase, bytes."""
+    """Per-tier demand traffic of one phase, bytes.
+
+    The performance model distinguishes two paths: node-local memory and
+    memory reached over the fabric link.  ``pooled`` records which tiers sit
+    behind the link; on systems with three or more tiers this is what routes
+    the *middle* tiers' bytes explicitly, so ``local + remote`` always covers
+    the whole demand instead of silently dropping intermediate tiers.
+    """
 
     per_tier: tuple[float, ...]
+    #: Which tiers are fabric-attached (pooled).  When empty, defaults to
+    #: "top tier is node-local, every other tier is behind the link".
+    pooled: tuple[bool, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.pooled and len(self.pooled) != len(self.per_tier):
+            raise ConfigurationError(
+                f"pooled mask has {len(self.pooled)} entries for "
+                f"{len(self.per_tier)} tiers"
+            )
+
+    def _pooled_mask(self) -> tuple[bool, ...]:
+        if self.pooled:
+            return self.pooled
+        return tuple(i > 0 for i in range(len(self.per_tier)))
 
     @property
     def local(self) -> float:
-        """Traffic to the top (local) tier."""
-        return self.per_tier[0]
+        """Traffic served by node-local (non-pooled) tiers."""
+        mask = self._pooled_mask()
+        return float(sum(t for t, pooled in zip(self.per_tier, mask) if not pooled))
 
     @property
     def remote(self) -> float:
-        """Traffic to the bottom (remote) tier; 0 on single-tier systems."""
-        return self.per_tier[-1] if len(self.per_tier) > 1 else 0.0
+        """Traffic served by fabric-attached (pooled) tiers; 0 on single-tier systems."""
+        mask = self._pooled_mask()
+        return float(sum(t for t, pooled in zip(self.per_tier, mask) if pooled))
 
     @property
     def total(self) -> float:
@@ -253,7 +277,10 @@ class ExecutionEngine:
             unplaced = placement < 0
             if unplaced.any():
                 per_tier[0] += traffic * float(weights[unplaced].sum())
-        return TierTraffic(per_tier=tuple(per_tier))
+        return TierTraffic(
+            per_tier=tuple(per_tier),
+            pooled=tuple(t.pooled for t in memory.config.tiers),
+        )
 
     def _phase_stream_fraction(
         self, phase: PhaseSpec, objects: dict[str, MemoryObject]

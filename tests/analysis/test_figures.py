@@ -137,3 +137,28 @@ def test_figure13_scheduling_small():
     assert set(data["per_workload"]) == {"Hypre", "XSBench"}
     assert data["mean_speedups"]["Hypre"] >= data["mean_speedups"]["XSBench"]
     assert data["most_improved"] == "Hypre"
+
+
+def test_figure_fabric_pool_timeline():
+    data = figures.figure_fabric_pool_timeline(n_tenants=3, workload="Hypre")
+    timeline = data["timeline"]
+    lengths = {len(series) for series in timeline.values()}
+    assert len(lengths) == 1 and lengths.pop() > 0
+    # Leased capacity never exceeds the pool and the port runs hot.
+    assert max(timeline["leased_gb"]) <= data["summary"]["pool_capacity_gb"] + 1e-9
+    assert max(timeline["max_port_utilization"]) > 0.5
+    # Every finished tenant has an emergent background-interference timeline.
+    assert set(data["tenant_background_loi"]) == {"Hypre-0", "Hypre-1", "Hypre-2"}
+    for series in data["tenant_background_loi"].values():
+        assert max(series["loi"]) > 0
+    assert data["summary"]["mean_slowdown"] > 1.0
+
+
+def test_figure_fabric_pool_timeline_capped_pool_queues_tenants():
+    lease_bytes = int(0.5 * 2.4e9)
+    data = figures.figure_fabric_pool_timeline(
+        n_tenants=3, workload="Hypre", pool_capacity_bytes=2 * lease_bytes + 1
+    )
+    assert max(data["timeline"]["queue_depth"]) >= 1
+    waits = [t["wait_s"] for t in data["summary"]["tenants"]]
+    assert max(waits) > 0

@@ -1,0 +1,234 @@
+"""Tests for the rack co-simulator and the dynamic-interference feedback loop."""
+
+import numpy as np
+import pytest
+
+from repro.config.errors import FabricError
+from repro.config.units import MiB
+from repro.fabric import (
+    DynamicInterference,
+    FabricTopology,
+    MemoryPool,
+    RackCoSimulator,
+    TenantSpec,
+)
+from repro.fabric.pool import LEASE_REJECTED
+from repro.interconnect.link import RemoteLink
+from repro.config import SKYLAKE_EMULATION
+from repro.memory.objects import MemoryObject
+from repro.sim import ExecutionEngine, Platform
+from repro.trace.patterns import SequentialPattern
+from repro.workloads.base import PhaseSpec, WorkloadSpec
+
+
+def bandwidth_hungry_spec(name="stream"):
+    """A small synthetic tenant that streams most of its traffic from the pool."""
+    data = MemoryObject(name="data", size_bytes=256 * MiB, pattern=SequentialPattern())
+    phases = (
+        PhaseSpec(
+            name="p1",
+            flops=2e10,
+            dram_bytes=60_000 * MiB,
+            object_traffic={"data": 1.0},
+            mlp=8.0,
+        ),
+    )
+    return WorkloadSpec(
+        name=name, input_label="t1", scale=1.0, objects=(data,), phases=phases
+    )
+
+
+def tenants(n, spec=None, **kwargs):
+    spec = spec if spec is not None else bandwidth_hungry_spec()
+    return [
+        TenantSpec(name=f"t{i}", workload=spec, local_fraction=0.5, **kwargs)
+        for i in range(n)
+    ]
+
+
+class TestValidation:
+    def test_needs_tenants(self):
+        with pytest.raises(FabricError):
+            RackCoSimulator([])
+
+    def test_unique_names(self):
+        spec = bandwidth_hungry_spec()
+        duplicated = [
+            TenantSpec(name="same", workload=spec),
+            TenantSpec(name="same", workload=spec),
+        ]
+        with pytest.raises(FabricError):
+            RackCoSimulator(duplicated)
+
+    def test_more_tenants_than_nodes(self):
+        with pytest.raises(FabricError):
+            RackCoSimulator(tenants(3), topology=FabricTopology(n_nodes=2))
+
+    def test_tenant_spec_validation(self):
+        spec = bandwidth_hungry_spec()
+        with pytest.raises(FabricError):
+            TenantSpec(name="x", workload=spec, local_fraction=0.0)
+        with pytest.raises(FabricError):
+            TenantSpec(name="x", workload=spec, arrival=-1.0)
+        with pytest.raises(FabricError):
+            RackCoSimulator(tenants(1), epoch_seconds=0.0)
+
+
+class TestEmergentInterference:
+    def test_single_tenant_matches_baseline(self):
+        result = RackCoSimulator(tenants(1)).run()
+        outcome = result.tenants[0]
+        assert outcome.slowdown == pytest.approx(1.0, rel=1e-3)
+        assert outcome.mean_background_bandwidth == 0.0
+
+    def test_runtimes_degrade_monotonically_with_tenant_count(self):
+        """The acceptance demo: >= 4 tenants on one port, emergent slowdown."""
+        runtimes = []
+        for n in (1, 2, 3, 4, 5, 6):
+            result = RackCoSimulator(tenants(n)).run()
+            runtimes.append(result.mean_runtime)
+        assert all(b >= a - 1e-9 for a, b in zip(runtimes, runtimes[1:]))
+        # Degradation is substantial and still strictly growing at 4+ tenants.
+        assert runtimes[3] > runtimes[2] * 1.05
+        assert runtimes[5] > runtimes[3] * 1.05
+        assert runtimes[-1] > runtimes[0] * 1.5
+
+    def test_co_runners_see_each_other(self):
+        result = RackCoSimulator(tenants(3)).run()
+        for outcome in result.tenants:
+            assert outcome.mean_background_bandwidth > 0
+            assert outcome.slowdown > 1.0
+
+    def test_separate_ports_do_not_interfere(self):
+        shared = RackCoSimulator(
+            tenants(2), topology=FabricTopology(n_nodes=2, n_ports=1)
+        ).run()
+        isolated = RackCoSimulator(
+            tenants(2), topology=FabricTopology(n_nodes=2, n_ports=2)
+        ).run()
+        assert isolated.mean_slowdown == pytest.approx(1.0, rel=1e-3)
+        assert shared.mean_slowdown > isolated.mean_slowdown
+
+
+class TestPoolAdmission:
+    def test_leases_never_exceed_capacity(self):
+        spec = bandwidth_hungry_spec()
+        lease = TenantSpec(name="x", workload=spec, local_fraction=0.5).lease_bytes
+        pool = MemoryPool(2 * lease + 1)
+        result = RackCoSimulator(tenants(5), pool=pool).run()
+        assert result.max_leased_bytes <= pool.capacity_bytes
+        samples = result.telemetry.leased_bytes
+        assert max(samples) <= pool.capacity_bytes
+
+    def test_queued_tenants_run_after_release(self):
+        spec = bandwidth_hungry_spec()
+        lease = TenantSpec(name="x", workload=spec, local_fraction=0.5).lease_bytes
+        pool = MemoryPool(2 * lease + 1)
+        result = RackCoSimulator(tenants(4), pool=pool).run()
+        waits = sorted(t.wait_time for t in result.finished_tenants)
+        assert len(result.finished_tenants) == 4
+        assert waits[0] == 0.0 and waits[1] == 0.0
+        assert waits[2] > 0.0 and waits[3] > 0.0
+        assert result.makespan > max(t.runtime for t in result.finished_tenants)
+
+    def test_oversized_tenant_rejected(self):
+        spec = bandwidth_hungry_spec()
+        lease = TenantSpec(name="x", workload=spec, local_fraction=0.5).lease_bytes
+        pool = MemoryPool(lease // 2)
+        result = RackCoSimulator(tenants(1), pool=pool).run()
+        outcome = result.tenants[0]
+        assert outcome.lease_state == LEASE_REJECTED
+        assert outcome.finish_time is None
+        with pytest.raises(FabricError):
+            result.interference_for("t0")
+
+    def test_capped_pool_trades_interference_for_waiting(self):
+        spec = bandwidth_hungry_spec()
+        lease = TenantSpec(name="x", workload=spec, local_fraction=0.5).lease_bytes
+        all_at_once = RackCoSimulator(tenants(4)).run()
+        two_at_a_time = RackCoSimulator(
+            tenants(4), pool=MemoryPool(2 * lease + 1)
+        ).run()
+        assert two_at_a_time.mean_slowdown < all_at_once.mean_slowdown
+        assert max(t.wait_time for t in two_at_a_time.finished_tenants) > 0
+
+
+class TestStaggeredArrivals:
+    def test_staggered_arrivals(self):
+        spec = bandwidth_hungry_spec()
+        specs = [
+            TenantSpec(name="early", workload=spec, local_fraction=0.5, arrival=0.0),
+            TenantSpec(name="late", workload=spec, local_fraction=0.5, arrival=50.0),
+        ]
+        result = RackCoSimulator(specs).run()
+        late = result.tenant("late")
+        assert late.start_time is not None and late.start_time >= 50.0
+        assert result.tenant("early").start_time == 0.0
+
+
+class TestDynamicInterferenceAdapter:
+    def test_validation(self):
+        link = RemoteLink(SKYLAKE_EMULATION)
+        with pytest.raises(FabricError):
+            DynamicInterference([], [], link)
+        with pytest.raises(FabricError):
+            DynamicInterference([0.0, 0.0], [1.0, 1.0], link)
+        with pytest.raises(FabricError):
+            DynamicInterference([0.0, 1.0], [1.0, -1.0], link)
+
+    def test_step_lookup(self):
+        link = RemoteLink(SKYLAKE_EMULATION)
+        dyn = DynamicInterference([0.0, 10.0, 20.0], [1e9, 2e9, 0.0], link)
+        assert dyn.background_bandwidth(link, -5.0) == 1e9
+        assert dyn.background_bandwidth(link, 0.0) == 1e9
+        assert dyn.background_bandwidth(link, 10.0) == 2e9
+        assert dyn.background_bandwidth(link, 15.0) == 2e9
+        assert dyn.background_bandwidth(link, 99.0) == 0.0
+
+    def test_loi_reporting(self):
+        link = RemoteLink(SKYLAKE_EMULATION)
+        bw = link.bandwidth_for_loi(30.0)
+        dyn = DynamicInterference([0.0, 10.0], [bw, 0.0], link)
+        assert dyn.mean_loi() == pytest.approx(15.0)
+        assert dyn.peak_loi == pytest.approx(30.0)
+        times, lois = dyn.loi_timeline()
+        assert list(times) == [0.0, 10.0]
+        assert lois[0] == pytest.approx(30.0)
+
+    def test_feedback_into_engine_reproduces_cosim_slowdown(self):
+        """Replaying the fabric-derived background through the ordinary engine
+        yields the same runtime the co-simulation predicted."""
+        spec = bandwidth_hungry_spec()
+        result = RackCoSimulator(tenants(3, spec=spec)).run()
+        dyn = result.interference_for("t0")
+        platform = Platform.pooled(spec.footprint_bytes, 0.5)
+        engine = ExecutionEngine(platform, seed=0)
+        idle = engine.run(spec)
+        replay = engine.run(spec, interference=dyn)
+        assert replay.total_runtime > idle.total_runtime
+        cosim_runtime = result.tenant("t0").runtime
+        assert replay.total_runtime == pytest.approx(cosim_runtime, rel=0.05)
+        assert replay.interference_loi == pytest.approx(dyn.mean_loi())
+
+
+class TestResultReporting:
+    def test_summary_structure(self):
+        result = RackCoSimulator(tenants(2)).run()
+        summary = result.summary()
+        assert summary["makespan"] > 0
+        assert len(summary["tenants"]) == 2
+        row = summary["tenants"][0]
+        assert {"name", "slowdown", "wait_s", "runtime_s", "lease_state"} <= set(row)
+
+    def test_telemetry_series(self):
+        result = RackCoSimulator(tenants(2)).run()
+        series = result.telemetry.series()
+        lengths = {len(v) for v in series.values()}
+        assert len(lengths) == 1 and lengths.pop() > 0
+        assert max(series["max_port_utilization"]) > 0
+        assert all(np.diff(series["time"]) > 0)
+
+    def test_unknown_tenant_lookup(self):
+        result = RackCoSimulator(tenants(1)).run()
+        with pytest.raises(KeyError):
+            result.tenant("nope")

@@ -1,0 +1,153 @@
+"""Tests for the shared memory pool's leasing and admission control."""
+
+import pytest
+
+from repro.config.errors import FabricError
+from repro.fabric import (
+    LEASE_GRANTED,
+    LEASE_QUEUED,
+    LEASE_REJECTED,
+    LEASE_RELEASED,
+    MemoryPool,
+)
+
+GB = 10**9
+
+
+class TestRequest:
+    def test_grant_when_capacity_available(self):
+        pool = MemoryPool(10 * GB)
+        lease = pool.request("a", 4 * GB, time=1.0)
+        assert lease.state == LEASE_GRANTED
+        assert lease.granted_at == 1.0
+        assert lease.wait_time == 0.0
+        assert pool.leased_bytes == 4 * GB
+        assert pool.free_bytes == 6 * GB
+
+    def test_queue_when_pool_full(self):
+        pool = MemoryPool(10 * GB)
+        pool.request("a", 8 * GB)
+        lease = pool.request("b", 4 * GB)
+        assert lease.state == LEASE_QUEUED
+        assert pool.queue_depth == 1
+        assert pool.leased_bytes == 8 * GB
+
+    def test_reject_when_request_exceeds_total_capacity(self):
+        pool = MemoryPool(10 * GB)
+        lease = pool.request("huge", 11 * GB)
+        assert lease.state == LEASE_REJECTED
+        assert pool.leased_bytes == 0
+        assert pool.queue_depth == 0
+
+    def test_zero_byte_request_granted_trivially(self):
+        pool = MemoryPool(10 * GB)
+        lease = pool.request("local-only", 0)
+        assert lease.state == LEASE_GRANTED
+        assert pool.leased_bytes == 0
+
+    def test_zero_byte_request_skips_queue(self):
+        """A tenant that uses no pool capacity never waits behind the queue."""
+        pool = MemoryPool(10 * GB)
+        pool.request("a", 8 * GB)
+        pool.request("b", 5 * GB)  # queued
+        lease = pool.request("local-only", 0)
+        assert lease.state == LEASE_GRANTED
+        assert pool.queue_depth == 1
+
+    def test_negative_request_raises(self):
+        pool = MemoryPool(10 * GB)
+        with pytest.raises(FabricError):
+            pool.request("bad", -1)
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(FabricError):
+            MemoryPool(0)
+
+    def test_fifo_no_overtaking(self):
+        """A small later request must not overtake a queued larger one."""
+        pool = MemoryPool(10 * GB)
+        pool.request("a", 8 * GB)
+        big = pool.request("b", 5 * GB)
+        small = pool.request("c", 1 * GB)
+        assert big.state == LEASE_QUEUED
+        # 1 GB would fit right now, but admitting it would starve "b".
+        assert small.state == LEASE_QUEUED
+        assert pool.queue_depth == 2
+
+
+class TestRelease:
+    def test_release_admits_queued_fifo(self):
+        pool = MemoryPool(10 * GB)
+        first = pool.request("a", 8 * GB, time=0.0)
+        second = pool.request("b", 5 * GB, time=1.0)
+        third = pool.request("c", 4 * GB, time=2.0)
+        admitted = pool.release(first, time=7.0)
+        assert [l.tenant for l in admitted] == ["b", "c"]
+        assert second.state == LEASE_GRANTED
+        assert second.wait_time == pytest.approx(6.0)
+        assert third.state == LEASE_GRANTED
+        assert pool.leased_bytes == 9 * GB
+
+    def test_release_admits_head_then_followers_while_they_fit(self):
+        pool = MemoryPool(10 * GB)
+        a = pool.request("a", 6 * GB)
+        pool.request("b", 9 * GB)
+        pool.request("c", 1 * GB)
+        admitted = pool.release(a)
+        # Head needs 9 GB < 10 free -> admitted; then "c" fits too.
+        assert [l.tenant for l in admitted] == ["b", "c"]
+        a2 = pool.request("a2", 2 * GB)
+        assert a2.state == LEASE_QUEUED
+
+    def test_cancel_queued_lease(self):
+        pool = MemoryPool(10 * GB)
+        pool.request("a", 8 * GB)
+        queued = pool.request("b", 5 * GB)
+        pool.release(queued, time=3.0)
+        assert queued.state == LEASE_RELEASED
+        assert pool.queue_depth == 0
+
+    def test_double_release_raises(self):
+        pool = MemoryPool(10 * GB)
+        lease = pool.request("a", 4 * GB)
+        pool.release(lease)
+        with pytest.raises(FabricError):
+            pool.release(lease)
+
+    def test_released_rejected_never_counted(self):
+        pool = MemoryPool(10 * GB)
+        rejected = pool.request("big", 20 * GB)
+        granted = pool.request("a", 6 * GB)
+        pool.release(granted)
+        assert rejected.state == LEASE_REJECTED
+        assert pool.leased_bytes == 0
+
+
+class TestInvariantsAndTelemetry:
+    def test_leased_never_exceeds_capacity(self):
+        pool = MemoryPool(10 * GB)
+        leases = [pool.request(f"t{i}", 3 * GB, time=float(i)) for i in range(6)]
+        assert pool.leased_bytes <= pool.capacity_bytes
+        for lease in list(pool.active_leases):
+            pool.release(lease, time=10.0)
+            assert pool.leased_bytes <= pool.capacity_bytes
+        # Everyone eventually ran.
+        assert all(l.state in (LEASE_GRANTED, LEASE_RELEASED) for l in leases)
+
+    def test_sample_reports_state(self):
+        pool = MemoryPool(10 * GB)
+        pool.request("a", 8 * GB)
+        pool.request("b", 5 * GB)
+        sample = pool.sample(12.5)
+        assert sample.time == 12.5
+        assert sample.leased_bytes == 8 * GB
+        assert sample.queue_depth == 1
+        assert sample.active_leases == 1
+
+    def test_describe(self):
+        pool = MemoryPool(10 * GB, name="rack-pool")
+        pool.request("a", 5 * GB)
+        info = pool.describe()
+        assert info["name"] == "rack-pool"
+        assert info["utilization"] == pytest.approx(0.5)
+        assert info["free_bytes"] == 5 * GB

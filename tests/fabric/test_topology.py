@@ -1,0 +1,127 @@
+"""Tests for the fabric topology and its contention resolution."""
+
+import pytest
+
+from repro.config.errors import FabricError
+from repro.fabric import FabricTopology
+
+GB = 10**9
+
+
+class TestWiring:
+    def test_round_robin_port_assignment(self):
+        topo = FabricTopology(n_nodes=6, n_ports=2)
+        assert [topo.port_of(n) for n in range(6)] == [0, 1, 0, 1, 0, 1]
+        assert topo.nodes_on_port(0) == (0, 2, 4)
+        assert topo.nodes_on_port(1) == (1, 3, 5)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(FabricError):
+            FabricTopology(n_nodes=0)
+        with pytest.raises(FabricError):
+            FabricTopology(n_nodes=2, n_ports=0)
+        with pytest.raises(FabricError):
+            FabricTopology(n_nodes=2, port_capacity_scale=0.5)
+
+    def test_out_of_range_lookups(self):
+        topo = FabricTopology(n_nodes=2)
+        with pytest.raises(FabricError):
+            topo.port_of(2)
+        with pytest.raises(FabricError):
+            topo.nodes_on_port(1)
+
+    def test_port_capacity_scale_widens_ports(self):
+        narrow = FabricTopology(n_nodes=2)
+        wide = FabricTopology(n_nodes=2, port_capacity_scale=2.0)
+        assert wide.ports[0].data_capacity == pytest.approx(
+            2.0 * narrow.ports[0].data_capacity
+        )
+
+    def test_describe(self):
+        info = FabricTopology(n_nodes=4, n_ports=2).describe()
+        assert info["n_nodes"] == 4
+        assert info["n_ports"] == 2
+        assert info["port_map"] == {0: 0, 1: 1, 2: 0, 3: 1}
+
+
+class TestBackgroundAndUtilisation:
+    def test_background_sums_co_runners_only(self):
+        topo = FabricTopology(n_nodes=3, n_ports=1)
+        demands = {0: 10 * GB, 1: 5 * GB, 2: 3 * GB}
+        assert topo.background_for(0, demands) == pytest.approx(8 * GB)
+        assert topo.background_for(2, demands) == pytest.approx(15 * GB)
+
+    def test_background_excludes_other_ports(self):
+        topo = FabricTopology(n_nodes=4, n_ports=2)
+        demands = {0: 10 * GB, 1: 20 * GB, 2: 5 * GB, 3: 7 * GB}
+        # Node 0 shares port 0 with node 2 only.
+        assert topo.background_for(0, demands) == pytest.approx(5 * GB)
+
+    def test_demand_clipped_to_node_link(self):
+        topo = FabricTopology(n_nodes=2, n_ports=1)
+        node_bw = topo.testbed.remote_bandwidth
+        demands = {0: 10 * node_bw, 1: 0.0}
+        assert topo.background_for(1, demands) == pytest.approx(node_bw)
+
+    def test_port_utilization_grows_with_tenants(self):
+        topo = FabricTopology(n_nodes=6, n_ports=1)
+        utils = [
+            topo.port_utilization(0, {i: 10 * GB for i in range(n)})
+            for n in range(1, 7)
+        ]
+        assert all(b > a for a, b in zip(utils, utils[1:]))
+
+    def test_port_waiting_time_nonnegative_and_monotone(self):
+        topo = FabricTopology(n_nodes=6, n_ports=1)
+        waits = [
+            topo.port_waiting_time(0, {i: 10 * GB for i in range(n)})
+            for n in range(1, 7)
+        ]
+        assert all(w >= 0 for w in waits)
+        assert all(b >= a - 1e-15 for a, b in zip(waits, waits[1:]))
+
+    def test_share_for_degrades_with_background(self):
+        topo = FabricTopology(n_nodes=3, n_ports=1)
+        alone = topo.share_for(0, {0: 20 * GB})
+        crowded = topo.share_for(0, {0: 20 * GB, 1: 25 * GB, 2: 25 * GB})
+        assert crowded.available_bandwidth < alone.available_bandwidth
+        assert crowded.queueing_delay > alone.queueing_delay
+
+
+class TestResolve:
+    def test_symmetric_overload_converges_to_fair_share(self):
+        topo = FabricTopology(n_nodes=8, n_ports=1)
+        capacity = topo.ports[0].data_capacity
+        for n in (3, 4, 5, 8):
+            delivered = topo.resolve({i: 28 * GB for i in range(n)})
+            for value in delivered.values():
+                assert value == pytest.approx(capacity / n, rel=0.02)
+
+    def test_underloaded_port_delivers_full_demand(self):
+        topo = FabricTopology(n_nodes=2, n_ports=1)
+        delivered = topo.resolve({0: 5 * GB, 1: 5 * GB})
+        assert delivered[0] == pytest.approx(5 * GB, rel=1e-3)
+        assert delivered[1] == pytest.approx(5 * GB, rel=1e-3)
+
+    def test_resolve_per_port_independence(self):
+        topo = FabricTopology(n_nodes=4, n_ports=2)
+        # Port 0 (nodes 0 and 2) is overloaded, port 1 (nodes 1 and 3) idle-ish.
+        delivered = topo.resolve(
+            {0: 30 * GB, 2: 30 * GB, 1: 2 * GB, 3: 2 * GB}
+        )
+        assert delivered[1] == pytest.approx(2 * GB, rel=1e-3)
+        assert delivered[3] == pytest.approx(2 * GB, rel=1e-3)
+        assert delivered[0] < 30 * GB
+
+    def test_total_delivered_bounded_by_capacity_region(self):
+        topo = FabricTopology(n_nodes=8, n_ports=1)
+        capacity = topo.ports[0].data_capacity
+        delivered = topo.resolve({i: 34 * GB for i in range(8)})
+        # The fixed point may slightly exceed the ideal fair share but stays
+        # in the neighbourhood of the port's data capacity.
+        assert sum(delivered.values()) <= capacity * 1.1
+
+    def test_invalid_damping(self):
+        topo = FabricTopology(n_nodes=2)
+        with pytest.raises(FabricError):
+            topo.resolve({0: GB}, damping=1.5)

@@ -81,3 +81,43 @@ def test_waiting_time_always_finite_nonnegative_and_capped(rho, service, name):
     wait = model.waiting_time(rho, service)
     assert wait >= 0.0
     assert wait <= model.max_wait_factor * service + 1e-12
+
+
+class TestOverloadRegime:
+    """Dense coverage of the overload regime: rho swept across [0, 2]."""
+
+    RHO_GRID = [i / 40 for i in range(81)]  # 0.0, 0.025, ..., 2.0
+
+    @pytest.mark.parametrize("name", sorted(QUEUEING_MODELS))
+    def test_wait_finite_across_overload_sweep(self, name):
+        model = make_queueing_model(name)
+        import math
+
+        for rho in self.RHO_GRID:
+            wait = model.waiting_time(rho, SERVICE)
+            assert math.isfinite(wait)
+            assert wait >= 0.0
+
+    @pytest.mark.parametrize("name", sorted(QUEUEING_MODELS))
+    def test_wait_monotone_across_overload_sweep(self, name):
+        model = make_queueing_model(name)
+        waits = [model.waiting_time(rho, SERVICE) for rho in self.RHO_GRID]
+        assert all(b >= a - 1e-18 for a, b in zip(waits, waits[1:]))
+
+    @pytest.mark.parametrize("name", sorted(QUEUEING_MODELS))
+    @pytest.mark.parametrize("max_wait_factor", [0.5, 2.0, 10.0])
+    def test_wait_capped_at_max_wait_factor(self, name, max_wait_factor):
+        model = make_queueing_model(name, max_wait_factor=max_wait_factor)
+        for rho in self.RHO_GRID:
+            assert model.waiting_time(rho, SERVICE) <= max_wait_factor * SERVICE + 1e-18
+
+    def test_no_singularity_at_rho_one(self):
+        """The 1/(1-rho) closed form must never be evaluated at rho >= rho_cap."""
+        for cls in (MM1QueueingModel, MD1QueueingModel):
+            model = cls(max_wait_factor=1e9)
+            just_below = model.waiting_time(1.0 - 1e-12, SERVICE)
+            at_one = model.waiting_time(1.0, SERVICE)
+            above = model.waiting_time(1.0 + 1e-12, SERVICE)
+            for wait in (just_below, at_one, above):
+                assert wait < 1e3 * SERVICE
+            assert above >= at_one >= just_below

@@ -141,6 +141,55 @@ class TestFreeAndMigrate:
         with pytest.raises(PlacementError):
             memory.migrate(a, to_tier=5)
 
+    def test_migrate_clamped_by_destination_capacity(self):
+        """Asking for more pages than the destination holds moves only what fits."""
+        a = obj("a", 2)
+        b = obj("b", 6)
+        _, memory = build(2, 10, [a, b])
+        memory.touch(a)  # fills the local tier completely
+        memory.touch(b)  # all 6 pages spill remote
+        memory.free(a)  # 2 local pages free again
+        moved = memory.migrate(b, to_tier=0)
+        assert moved == 2
+        placement = memory.placement_of(b)
+        assert (placement == 0).sum() == 2
+        assert (placement == 1).sum() == 4
+        # Accounting stays consistent: the local tier is exactly full again.
+        assert memory.usage[0].used_bytes == 2 * PAGE
+        assert memory.usage[1].used_bytes == 4 * PAGE
+
+    def test_migrate_zero_max_pages_is_a_noop(self):
+        a = obj("a", 4)
+        _, memory = build(4, 10, [a])
+        memory.touch(a)
+        before = [u.used_bytes for u in memory.usage]
+        assert memory.migrate(a, to_tier=1, max_pages=0) == 0
+        assert memory.migrations == 0
+        assert [u.used_bytes for u in memory.usage] == before
+
+    def test_migrate_negative_max_pages_treated_as_zero(self):
+        a = obj("a", 4)
+        _, memory = build(4, 10, [a])
+        memory.touch(a)
+        assert memory.migrate(a, to_tier=1, max_pages=-3) == 0
+
+    def test_double_free_is_idempotent(self):
+        a = obj("a", 4)
+        _, memory = build(4, 4, [a])
+        memory.touch(a)
+        assert memory.free(a) == 4 * PAGE
+        # Freeing again releases nothing and never drives usage negative.
+        assert memory.free(a) == 0
+        assert memory.usage[0].used_bytes == 0
+        assert memory.usage[1].used_bytes == 0
+        assert np.all(memory.placement_of(a) == UNPLACED)
+
+    def test_free_untouched_object_is_a_noop(self):
+        a = obj("a", 4)
+        _, memory = build(4, 4, [a])
+        assert memory.free(a) == 0
+        assert memory.usage[0].used_bytes == 0
+
 
 class TestQueries:
     def test_remote_capacity_ratio(self):

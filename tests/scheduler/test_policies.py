@@ -10,6 +10,7 @@ from repro.scheduler.job import Job, JobProfile
 from repro.scheduler.policies import (
     InterferenceAwarePlacement,
     LeastLoadedPlacement,
+    PoolAwarePlacement,
     RandomPlacement,
     make_policy,
 )
@@ -85,8 +86,54 @@ def test_interference_aware_fallback_when_not_strict(cluster, rng):
     assert rack is cluster.racks[1]  # least-loaded fallback
 
 
+def test_pool_aware_prefers_pool_capacity_headroom(cluster, rng):
+    policy = PoolAwarePlacement(capacity_weight=1.0)
+    # Rack 0's pool is nearly full.
+    cluster.racks[0].pool_used_gb = 900.0
+    rack = policy.choose_rack(cluster, Job(0, insensitive_profile()), rng)
+    assert rack is cluster.racks[1]
+
+
+def test_pool_aware_prefers_calm_port(cluster, rng):
+    policy = PoolAwarePlacement(capacity_weight=0.0)
+    # Rack 0's port runs hot, pools are equally empty.
+    cluster.racks[0].place(Job(0, insensitive_profile(induced=45.0)))
+    rack = policy.choose_rack(cluster, Job(1, insensitive_profile()), rng)
+    assert rack is cluster.racks[1]
+
+
+def test_pool_aware_avoids_hot_ports_until_forced(rng):
+    cluster = Cluster.build(n_racks=2, nodes_per_rack=2, pool_capacity_gb=1000.0)
+    policy = PoolAwarePlacement(max_port_utilization=0.5, capacity_weight=1.0)
+    # Rack 1 has the emptier pool but a port already at 60% utilisation.
+    cluster.racks[0].pool_used_gb = 500.0
+    cluster.racks[1].place(Job(0, insensitive_profile(induced=60.0)))
+    rack = policy.choose_rack(cluster, Job(1, insensitive_profile(induced=0.0)), rng)
+    assert rack is cluster.racks[0]
+    # When every port is hot the policy degrades to best-score placement
+    # instead of stalling the job.
+    cluster.racks[0].place(Job(2, insensitive_profile(induced=70.0)))
+    rack = policy.choose_rack(cluster, Job(3, insensitive_profile(induced=0.0)), rng)
+    assert rack is not None
+
+
+def test_pool_aware_returns_none_when_nothing_fits(rng):
+    cluster = Cluster.build(n_racks=1, nodes_per_rack=1)
+    cluster.racks[0].place(Job(0, insensitive_profile()))
+    policy = PoolAwarePlacement()
+    assert policy.choose_rack(cluster, Job(1, insensitive_profile()), rng) is None
+
+
+def test_pool_aware_validation():
+    with pytest.raises(SchedulingError):
+        PoolAwarePlacement(capacity_weight=1.5)
+    with pytest.raises(SchedulingError):
+        PoolAwarePlacement(max_port_utilization=0.0)
+
+
 def test_make_policy_factory():
     assert isinstance(make_policy("random"), RandomPlacement)
     assert isinstance(make_policy("interference-aware", max_seen_loi=15.0), InterferenceAwarePlacement)
+    assert isinstance(make_policy("pool-aware", capacity_weight=0.3), PoolAwarePlacement)
     with pytest.raises(SchedulingError):
         make_policy("fifo")

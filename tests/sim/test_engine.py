@@ -147,6 +147,61 @@ class TestLateAndFreedObjects:
         assert result.phases[1].remote_bytes <= result.phases[0].remote_bytes * 5
 
 
+class TestMiddleTierAccounting:
+    def three_tier_platform(self):
+        """local DRAM + a middle CXL tier + a bottom pool tier."""
+        from repro.config.tiers import TieredMemoryConfig, TierSpec
+        from repro.config import SKYLAKE_EMULATION as tb
+
+        config = TieredMemoryConfig(
+            tiers=(
+                TierSpec("local-dram", 100 * MiB, tb.local_bandwidth, tb.local_latency),
+                TierSpec(
+                    "cxl-direct", 100 * MiB, tb.remote_bandwidth, tb.remote_latency, pooled=True
+                ),
+                TierSpec(
+                    "memory-pool", 200 * MiB, tb.remote_bandwidth, tb.remote_latency, pooled=True
+                ),
+            )
+        )
+        return Platform(tier_config=config, label="3-tier")
+
+    def test_three_tier_traffic_conserved(self):
+        """Middle-tier bytes must be routed, not dropped (local+remote == total)."""
+        spec = tiny_spec()
+        platform = self.three_tier_platform()
+        result = ExecutionEngine(platform, seed=0).run(spec)
+        for phase in result.phases:
+            assert phase.local_bytes + phase.remote_bytes == pytest.approx(
+                phase.dram_bytes, rel=1e-6
+            )
+        # The middle tier holds pages, so the pooled share exceeds what the
+        # bottom tier alone could serve.
+        assert result.total_remote_bytes > 0
+
+    def test_tier_traffic_default_mask_counts_middle_as_remote(self):
+        from repro.sim import TierTraffic
+
+        traffic = TierTraffic(per_tier=(10.0, 5.0, 2.0))
+        assert traffic.local == 10.0
+        assert traffic.remote == 7.0
+        assert traffic.total == 17.0
+
+    def test_tier_traffic_explicit_mask(self):
+        from repro.sim import TierTraffic
+
+        traffic = TierTraffic(per_tier=(10.0, 5.0, 2.0), pooled=(False, False, True))
+        assert traffic.local == 15.0
+        assert traffic.remote == 2.0
+
+    def test_tier_traffic_mismatched_mask_raises(self):
+        from repro.config.errors import ConfigurationError
+        from repro.sim import TierTraffic
+
+        with pytest.raises(ConfigurationError):
+            TierTraffic(per_tier=(10.0, 5.0, 2.0), pooled=(False, True))
+
+
 class TestDerivedOutputs:
     def test_access_profile_covers_footprint_traffic(self):
         spec = tiny_spec()

@@ -81,3 +81,34 @@ def test_text_output_mode(capsys):
     assert main(["figure", "1"]) == 0
     out = capsys.readouterr().out
     assert "years" in out
+
+
+def test_fabric_command(capsys):
+    assert main(["--json", "fabric", "--tenants", "3", "--workload", "Hypre"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert len(data["tenants"]) == 3
+    assert data["mean_slowdown"] > 1.0
+    assert data["max_leased_gb"] <= data["pool_capacity_gb"] + 1e-9
+    assert "timeline" not in data
+
+
+def test_fabric_command_with_timeline_and_capped_pool(capsys):
+    assert (
+        main(
+            [
+                "--json",
+                "fabric",
+                "--tenants",
+                "3",
+                "--pool-gb",
+                "2.4",
+                "--timeline",
+            ]
+        )
+        == 0
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert max(data["timeline"]["leased_gb"]) <= 2.4 * 1.073741824 + 1e-9
+    # Only two leases fit, so the third tenant waits.
+    waits = sorted(t["wait_s"] for t in data["tenants"])
+    assert waits[-1] > 0
