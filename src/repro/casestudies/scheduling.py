@@ -7,6 +7,15 @@ interference-aware scheduler (which refuses to co-locate interference-heavy
 jobs with sensitive ones).  The paper reports mean speedups of roughly
 4% (Hypre), 2% (NekRS, SuperLU), 1% (BFS, HPL) and 0% (XSBench), and a
 reduction of the 75th-percentile execution time of 1-5%.
+
+:class:`CoupledSchedulingStudy` extends the study to the rack-scale
+:class:`~repro.scheduler.simulator.ClusterSimulator`: the *same* job stream is
+scheduled once with the paper's static ``slowdown_at(LoI)`` pricing and once
+with :class:`~repro.scheduler.progress.FabricCoupledProgress`, which steps a
+:class:`~repro.fabric.cosim.RackCoSimulator` per rack between scheduler
+events.  The delta between the two outcomes is the study's result: how much
+the emergent contention the fabric resolves changes completion times compared
+to the submission-time hints alone.
 """
 
 from __future__ import annotations
@@ -17,8 +26,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..profiler.level3 import Level3Profiler, SensitivityCurve
+from ..scheduler.cluster import Cluster
 from ..scheduler.job import JobProfile
-from ..scheduler.simulator import CoLocationResult, CoLocationStudy
+from ..scheduler.policies import make_policy
+from ..scheduler.progress import FabricCoupledProgress, StaticCurveProgress, fabric_job_profile
+from ..scheduler.simulator import ClusterSimulator, CoLocationResult, CoLocationStudy, ScheduleOutcome
 from ..sim.platform import Platform
 from ..workloads.base import WorkloadSpec
 from ..workloads.registry import build_all
@@ -148,3 +160,172 @@ class SchedulingCaseStudy:
         specs = list(specs) if specs is not None else build_all(1.0)
         results = tuple(self.study_workload(spec) for spec in specs)
         return SchedulingCaseStudyResult(results=results)
+
+
+# ---------------------------------------------------------------------------
+# Rack-scale extension: static-curve versus fabric-coupled scheduling.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoupledSchedulingResult:
+    """One job stream scheduled under static and fabric-coupled progress."""
+
+    static: ScheduleOutcome
+    coupled: ScheduleOutcome
+
+    @property
+    def makespan_delta(self) -> float:
+        """Relative makespan change when the fabric is coupled in (>0 = longer)."""
+        if self.static.makespan <= 0:
+            return 0.0
+        return self.coupled.makespan / self.static.makespan - 1.0
+
+    @property
+    def mean_slowdown_delta(self) -> float:
+        """Absolute change of the mean job slowdown under coupling."""
+        return self.coupled.mean_slowdown - self.static.mean_slowdown
+
+    @property
+    def max_finish_time_shift(self) -> float:
+        """Largest per-job |finish-time| difference between the two schedules.
+
+        Non-zero values mean the static proxy mispredicted completion times —
+        the quantity an interference-aware scheduler would act on.
+        """
+        shifts = [
+            abs(a.finish_time - b.finish_time)
+            for a, b in zip(self.static.jobs, self.coupled.jobs)
+            if a.finished and b.finished
+        ]
+        return max(shifts, default=0.0)
+
+    def summary(self) -> dict:
+        """CLI/README-friendly comparison rows."""
+
+        def row(outcome: ScheduleOutcome) -> dict:
+            return {
+                "makespan_s": outcome.makespan,
+                "mean_slowdown": outcome.mean_slowdown,
+                "p75_slowdown": outcome.p75_slowdown,
+                "mean_wait_s": outcome.mean_wait,
+            }
+
+        return {
+            "policy": self.static.policy,
+            "static": row(self.static),
+            "fabric_coupled": row(self.coupled),
+            "makespan_delta": self.makespan_delta,
+            "mean_slowdown_delta": self.mean_slowdown_delta,
+            "max_finish_time_shift_s": self.max_finish_time_shift,
+        }
+
+
+class CoupledSchedulingStudy:
+    """Schedules one job stream with and without the fabric in the loop.
+
+    Job profiles are measured on the fabric's own models
+    (:func:`~repro.scheduler.progress.fabric_job_profile`), so both pricing
+    machineries see the same baseline runtimes, induced-LoI hints and pool
+    shares; any outcome difference comes from *how* interference is resolved,
+    not from different inputs.
+    """
+
+    def __init__(
+        self,
+        n_racks: int = 2,
+        nodes_per_rack: int = 2,
+        pool_capacity_gb: float = 2048.0,
+        local_fraction: float = 0.5,
+        policy: str = "least-loaded",
+        ports_per_rack: int = 1,
+        epoch_seconds: Optional[float] = None,
+        scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.n_racks = n_racks
+        self.nodes_per_rack = nodes_per_rack
+        self.pool_capacity_gb = pool_capacity_gb
+        self.local_fraction = local_fraction
+        self.policy = policy
+        self.ports_per_rack = ports_per_rack
+        self.epoch_seconds = epoch_seconds
+        self.scale = scale
+        self.seed = seed
+
+    def _cluster(self) -> Cluster:
+        return Cluster.build(
+            n_racks=self.n_racks,
+            nodes_per_rack=self.nodes_per_rack,
+            pool_capacity_gb=self.pool_capacity_gb,
+        )
+
+    def job_stream(
+        self,
+        specs: Optional[Sequence[WorkloadSpec]] = None,
+        copies: int = 2,
+        stagger: float = 0.0,
+        with_sensitivity: bool = False,
+    ) -> tuple[list[JobProfile], list[float], dict[str, WorkloadSpec]]:
+        """(profiles, arrivals, workload mapping) of the study's job stream.
+
+        With ``with_sensitivity`` each profile also carries its measured
+        Level-3 sensitivity curve, giving the static model the paper's full
+        submission-time hints instead of pricing every co-location at 1.
+        """
+        specs = list(specs) if specs is not None else build_all(self.scale)
+        workloads = {spec.name: spec for spec in specs}
+        profiles: list[JobProfile] = []
+        for spec in specs:
+            sensitivity = None
+            if with_sensitivity:
+                platform = Platform.pooled(spec.footprint_bytes, self.local_fraction)
+                sensitivity = Level3Profiler(seed=self.seed).sensitivity(spec, platform)
+            profile = fabric_job_profile(
+                spec,
+                local_fraction=self.local_fraction,
+                seed=self.seed,
+                sensitivity=sensitivity,
+            )
+            profiles.extend([profile] * copies)
+        arrivals = [i * stagger for i in range(len(profiles))]
+        return profiles, arrivals, workloads
+
+    def run(
+        self,
+        specs: Optional[Sequence[WorkloadSpec]] = None,
+        copies: int = 2,
+        stagger: float = 0.0,
+        with_sensitivity: bool = False,
+    ) -> CoupledSchedulingResult:
+        """Schedule the stream twice — static pricing vs fabric coupling."""
+        profiles, arrivals, workloads = self.job_stream(
+            specs, copies, stagger, with_sensitivity=with_sensitivity
+        )
+        static_outcome = ClusterSimulator(
+            self._cluster(),
+            make_policy(self.policy),
+            seed=self.seed,
+            progress=StaticCurveProgress(),
+        ).run(profiles, arrivals=arrivals)
+        progress = FabricCoupledProgress(
+            workloads=workloads,
+            local_fraction=self.local_fraction,
+            ports_per_rack=self.ports_per_rack,
+            epoch_seconds=self.epoch_seconds,
+            seed=self.seed,
+        )
+        # The fabric-coupled policy scores racks through the live progress
+        # model; it must be handed the same instance the simulator steps.
+        coupled_policy = (
+            make_policy(self.policy, progress=progress)
+            if self.policy == "fabric-coupled"
+            else make_policy(self.policy)
+        )
+        coupled_outcome = ClusterSimulator(
+            self._cluster(),
+            coupled_policy,
+            seed=self.seed,
+            progress=progress,
+        ).run(profiles, arrivals=arrivals)
+        return CoupledSchedulingResult(static=static_outcome, coupled=coupled_outcome)

@@ -8,7 +8,10 @@ Sub-commands map directly onto the paper's experiments::
     repro-dmem figure 8                # regenerate one figure's data
     repro-dmem bfs-case-study          # Section 7.1
     repro-dmem scheduling --runs 20    # Section 7.2 (reduced run count)
+    repro-dmem scheduling --coupled    # rack-scale static vs fabric-coupled
     repro-dmem fabric --tenants 6      # rack co-simulation (Section 7.2 extension)
+
+Reference documentation for every subcommand lives in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -185,6 +188,29 @@ def cmd_bfs_case_study(args: argparse.Namespace) -> int:
 
 
 def cmd_scheduling(args: argparse.Namespace) -> int:
+    if args.coupled:
+        from .casestudies.scheduling import CoupledSchedulingStudy
+        from .workloads.registry import build_workload as _build
+
+        specs = [_build(name, args.scale) for name in args.workloads] if args.workloads else None
+        study = CoupledSchedulingStudy(
+            n_racks=args.racks,
+            nodes_per_rack=args.nodes_per_rack,
+            pool_capacity_gb=args.pool_gb,
+            policy=args.policy,
+            ports_per_rack=args.ports,
+            epoch_seconds=args.epoch_seconds,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        result = study.run(
+            specs=specs,
+            copies=args.copies,
+            stagger=args.stagger,
+            with_sensitivity=args.with_sensitivity,
+        )
+        _emit(result.summary(), args.json)
+        return 0
     study = SchedulingCaseStudy(n_runs=args.runs, seed=args.seed)
     result = study.run()
     _emit({r.workload: r.summary() for r in result.results}, args.json)
@@ -201,7 +227,11 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         spec, args.tenants, local_fraction=args.local_fraction, stagger=args.stagger
     )
     pool = MemoryPool(int(args.pool_gb * GiB)) if args.pool_gb is not None else None
-    topology = FabricTopology(n_nodes=args.tenants, n_ports=args.ports)
+    topology = FabricTopology(
+        n_nodes=args.tenants,
+        n_ports=args.ports,
+        port_capacity_scale=args.port_capacity_scale,
+    )
     simulator = RackCoSimulator(
         tenants,
         pool=pool,
@@ -250,6 +280,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sched = sub.add_parser("scheduling", help="Section 7.2 case study")
     p_sched.add_argument("--runs", type=int, default=100)
+    p_sched.add_argument(
+        "--coupled",
+        action="store_true",
+        help="rack-scale comparison: static slowdown_at(LoI) pricing vs "
+        "fabric-coupled progress (RackCoSimulator stepped between events)",
+    )
+    p_sched.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="workloads in the coupled job stream (default: all six)",
+    )
+    p_sched.add_argument("--copies", type=int, default=2, help="jobs per workload")
+    p_sched.add_argument("--racks", type=int, default=2, help="racks in the cluster")
+    p_sched.add_argument("--nodes-per-rack", type=int, default=2)
+    p_sched.add_argument("--pool-gb", type=float, default=2048.0, help="pool capacity per rack")
+    p_sched.add_argument(
+        "--policy",
+        default="least-loaded",
+        help="placement policy for the coupled comparison",
+    )
+    p_sched.add_argument("--ports", type=int, default=1, help="pool ports per rack")
+    p_sched.add_argument("--scale", type=float, default=1.0, help="workload input scale")
+    p_sched.add_argument(
+        "--stagger", type=float, default=0.0, help="seconds between job arrivals"
+    )
+    p_sched.add_argument(
+        "--epoch-seconds", type=float, default=None, help="fabric co-simulation step"
+    )
+    p_sched.add_argument(
+        "--with-sensitivity",
+        action="store_true",
+        help="measure Level-3 sensitivity curves so the static model prices "
+        "co-location with the paper's full submission-time hints",
+    )
     p_sched.set_defaults(func=cmd_scheduling)
 
     p_fabric = sub.add_parser(
@@ -271,6 +336,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool capacity in GiB (default: enough for all tenants)",
     )
     p_fabric.add_argument("--ports", type=int, default=1, help="shared pool ports")
+    p_fabric.add_argument(
+        "--port-capacity-scale",
+        type=float,
+        default=1.0,
+        help="pool-port capacity as a multiple of one node link (>= 1)",
+    )
     p_fabric.add_argument(
         "--stagger", type=float, default=0.0, help="seconds between tenant arrivals"
     )

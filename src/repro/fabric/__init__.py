@@ -7,9 +7,16 @@ ports, and a :class:`RackCoSimulator` that advances all tenants in epochs so
 interference between them is emergent rather than injected.
 :class:`DynamicInterference` carries the derived background timelines back
 into the single-node execution engine.
+
+The co-simulator can also be driven incrementally — admit/withdraw tenants,
+step between external events, checkpoint and roll epochs back — which is how
+:mod:`repro.scheduler.progress` puts the fabric in the scheduling loop.  The
+units, epoch semantics and tenant↔job mapping of that coupling are documented
+in :mod:`repro.fabric.cosim`.
 """
 
 from .cosim import (
+    EpochCheckpoint,
     RackCoSimResult,
     RackCoSimulator,
     RackTelemetry,
@@ -30,6 +37,7 @@ from .pool import (
 from .topology import FabricTopology
 
 __all__ = [
+    "EpochCheckpoint",
     "RackCoSimResult",
     "RackCoSimulator",
     "RackTelemetry",

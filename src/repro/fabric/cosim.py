@@ -20,6 +20,37 @@ emergent:
 Baseline phase runtimes and traffic come from one interference-free
 :class:`~repro.sim.engine.ExecutionEngine` run per tenant, so the co-simulation
 inherits the full cache/prefetch/placement behaviour of the single-node model.
+
+Coupling contract (used by :mod:`repro.scheduler.progress`)
+-----------------------------------------------------------
+
+Besides the closed-loop :meth:`RackCoSimulator.run`, the co-simulator can be
+driven **incrementally** by an external scheduler, one rack per simulator:
+
+* **Units.**  Progress is measured in *baseline seconds*: one baseline second
+  is the work the tenant completes per wall-clock second on an idle fabric.
+  Bandwidths are bytes/s of *data* payload (protocol overhead is the
+  :class:`~repro.interconnect.link.RemoteLink`'s job); times are simulated
+  wall-clock seconds.
+* **Epoch semantics.**  Backgrounds (what each tenant's co-runners deliver
+  through its pool port) are re-resolved only at *epoch rollovers*: every
+  ``epoch_seconds`` of stepped time, and immediately on tenant admission or
+  withdrawal.  Between rollovers backgrounds are frozen, so per-phase progress
+  rates are piecewise constant and an external event loop can do exact linear
+  completion-time bookkeeping as long as it never steps past
+  :meth:`RackCoSimulator.horizon` in one go.
+* **Tenant ↔ job mapping.**  The scheduler maps each running job onto one
+  :class:`TenantSpec` (one tenant per occupied node); it calls
+  :meth:`RackCoSimulator.admit` when the job starts and
+  :meth:`RackCoSimulator.withdraw` when it retires the job.  Unlike
+  :meth:`run`, incremental stepping never releases pool leases on its own —
+  lease lifetime is exactly job lifetime, owned by the scheduler.
+* **Checkpoint / rollover.**  :meth:`RackCoSimulator.checkpoint` snapshots the
+  epoch state (clock, intra-epoch elapsed time, frozen backgrounds, per-tenant
+  phase progress); :meth:`RackCoSimulator.rollover` rolls the co-simulation
+  back to such a snapshot so speculative steps — e.g. stepping to an estimated
+  completion that an earlier arrival then invalidates — can be re-taken.
+  Checkpoints stay valid only while the tenant mix is unchanged.
 """
 
 from __future__ import annotations
@@ -160,6 +191,14 @@ class _TenantState:
         if self.phase_index >= len(self.phases):
             return 0.0
         return self.phases[self.phase_index].offered_bandwidth
+
+    @property
+    def completed_baseline_seconds(self) -> float:
+        """Baseline seconds of work completed so far (phases done + partial)."""
+        return (
+            sum(p.runtime for p in self.phases[: self.phase_index])
+            + self.phase_elapsed
+        )
 
 
 @dataclass(frozen=True)
@@ -309,6 +348,29 @@ class RackCoSimResult:
         }
 
 
+@dataclass(frozen=True)
+class EpochCheckpoint:
+    """Snapshot of an incrementally-driven co-simulation's epoch state.
+
+    Captures everything :meth:`RackCoSimulator.step` mutates — the simulated
+    clock, how far into the current epoch the simulation is, the epoch's
+    frozen per-node backgrounds and every tenant's phase progress — but *not*
+    the tenant mix or the pool's lease table: those only change through
+    :meth:`RackCoSimulator.admit` / :meth:`RackCoSimulator.withdraw`, which
+    invalidate the checkpoint.  Produced by
+    :meth:`RackCoSimulator.checkpoint`, consumed by
+    :meth:`RackCoSimulator.rollover`.
+    """
+
+    clock: float
+    epoch_elapsed: float
+    backgrounds: tuple[tuple[int, float], ...]
+    #: (name, phase_index, phase_elapsed, finish_time) per tenant.
+    tenants: tuple[tuple[str, int, float, Optional[float]], ...]
+    #: (name, background-timeline length) per tenant, for rollback trimming.
+    histories: tuple[tuple[str, int], ...]
+
+
 class RackCoSimulator:
     """Epoch-driven co-simulation of tenants sharing one rack's memory pool.
 
@@ -365,6 +427,59 @@ class RackCoSimulator:
         if epoch_seconds is not None and epoch_seconds <= 0:
             raise FabricError("epoch_seconds must be positive")
         self._epoch_seconds = epoch_seconds
+        self._init_incremental()
+
+    @classmethod
+    def incremental(
+        cls,
+        n_nodes: int,
+        pool: Optional[MemoryPool] = None,
+        topology: Optional[FabricTopology] = None,
+        testbed: TestbedConfig = SKYLAKE_EMULATION,
+        epoch_seconds: Optional[float] = None,
+        seed: int = 0,
+    ) -> "RackCoSimulator":
+        """An empty co-simulator an external scheduler drives tenant by tenant.
+
+        Unlike the batch constructor there is no up-front tenant list: the
+        caller :meth:`admit`\\ s tenants as its jobs start, :meth:`step`\\ s the
+        rack between its own events and :meth:`withdraw`\\ s tenants it
+        retires.  ``pool`` defaults to an effectively unbounded pool (the
+        caller is assumed to do its own capacity admission);
+        ``epoch_seconds`` defaults to ~1/40 of the first admitted tenant's
+        baseline runtime.
+        """
+        if n_nodes <= 0:
+            raise FabricError("the rack needs at least one node")
+        sim = cls.__new__(cls)
+        sim.tenants = ()
+        sim.testbed = testbed
+        sim.topology = (
+            topology
+            if topology is not None
+            else FabricTopology(n_nodes=n_nodes, n_ports=1, testbed=testbed)
+        )
+        if sim.topology.n_nodes < n_nodes:
+            raise FabricError(
+                f"fabric has {sim.topology.n_nodes} nodes but {n_nodes} were requested"
+            )
+        sim.pool = pool if pool is not None else MemoryPool(capacity_bytes=1 << 62)
+        sim.seed = int(seed)
+        if epoch_seconds is not None and epoch_seconds <= 0:
+            raise FabricError("epoch_seconds must be positive")
+        sim._epoch_seconds = epoch_seconds
+        sim._init_incremental()
+        return sim
+
+    def _init_incremental(self) -> None:
+        """Reset the state behind the incremental (scheduler-driven) API."""
+        self._inc_states: dict[str, _TenantState] = {}
+        self._inc_cache: dict = {}
+        self._inc_clock = 0.0
+        self._inc_epoch_elapsed = 0.0
+        self._inc_epoch: Optional[float] = self._epoch_seconds
+        self._inc_backgrounds: dict[int, float] = {}
+        self._inc_telemetry = RackTelemetry()
 
     # -- baseline profiling ---------------------------------------------------------
 
@@ -578,3 +693,289 @@ class RackCoSimulator:
         if state.phase_index >= len(state.phases):
             return used
         return None
+
+    # -- incremental (scheduler-driven) API -------------------------------------------
+    #
+    # The methods below let an external event loop — the cluster scheduler in
+    # :mod:`repro.scheduler.progress` — drive one rack's co-simulation between
+    # its own events instead of running it to completion.  See the module
+    # docstring ("Coupling contract") for units and epoch semantics.
+
+    @property
+    def clock(self) -> float:
+        """Simulated time of the incrementally-driven co-simulation, seconds."""
+        return self._inc_clock
+
+    @property
+    def telemetry(self) -> RackTelemetry:
+        """Epoch-rollover telemetry of the incrementally-driven co-simulation."""
+        return self._inc_telemetry
+
+    @property
+    def tenant_states(self) -> dict:
+        """Live per-tenant state, keyed by tenant name (read-only use)."""
+        return dict(self._inc_states)
+
+    def admit(
+        self, spec: TenantSpec, node: Optional[int] = None, time: Optional[float] = None
+    ) -> "Lease":
+        """Admit one tenant into the running co-simulation.
+
+        Profiles the tenant interference-free (cached per workload/fraction),
+        requests its pool lease and rolls the epoch over so the new tenant's
+        demand is part of the resolved backgrounds immediately.  ``node`` is
+        the rack-local node index (first free node when omitted); ``time``
+        may fast-forward an idle rack but can never move the clock backwards.
+        Returns the tenant's lease so the caller can see whether it was
+        granted or queued.
+        """
+        if spec.name in self._inc_states:
+            raise FabricError(f"tenant {spec.name!r} is already admitted")
+        occupied = {s.node for s in self._inc_states.values()}
+        if node is None:
+            free = [n for n in range(self.topology.n_nodes) if n not in occupied]
+            if not free:
+                raise FabricError("no free node in the rack fabric")
+            node = free[0]
+        elif not 0 <= node < self.topology.n_nodes:
+            raise FabricError(
+                f"node {node} is not part of this {self.topology.n_nodes}-node fabric"
+            )
+        elif node in occupied:
+            raise FabricError(f"node {node} already hosts a tenant")
+        if time is not None:
+            if time < self._inc_clock - 1e-9:
+                raise FabricError("cannot admit a tenant in the past")
+            if time > self._inc_clock:
+                self.step(time - self._inc_clock)
+        state = _TenantState(spec, node=node)
+        self._profile_tenant(state, self._inc_cache)
+        if self._inc_epoch is None:
+            self._inc_epoch = max(state.baseline_runtime / 40.0, 1e-6)
+        state.lease = self.pool.request(spec.name, spec.lease_bytes, time=self._inc_clock)
+        self._inc_states[spec.name] = state
+        self._rollover_epoch()
+        return state.lease
+
+    def withdraw(self, name: str, time: Optional[float] = None) -> None:
+        """Remove a tenant (finished or cancelled) and return its lease.
+
+        Releasing the lease admits queued co-tenants in FIFO order; the epoch
+        is rolled over so the departed tenant's demand stops interfering in
+        the same instant.
+        """
+        if name not in self._inc_states:
+            raise FabricError(f"no admitted tenant named {name!r}")
+        if time is not None and time > self._inc_clock:
+            self.step(time - self._inc_clock)
+        state = self._inc_states.pop(name)
+        if state.lease is not None and state.lease.state in (LEASE_GRANTED, LEASE_QUEUED):
+            self.pool.release(state.lease, time=self._inc_clock)
+        self._rollover_epoch()
+
+    def baseline_runtime_of(self, name: str) -> float:
+        """Interference-free total runtime of an admitted tenant, seconds."""
+        return self._state_of(name).baseline_runtime
+
+    def peak_offered_bandwidth(self, spec: TenantSpec) -> float:
+        """Pool bandwidth of a tenant's hungriest phase, bytes/s.
+
+        Profiles the workload on demand (cached), without admitting it — used
+        by placement policies to project what a prospective tenant would add
+        to a pool port.
+        """
+        probe = _TenantState(spec, node=0)
+        self._profile_tenant(probe, self._inc_cache)
+        return max((p.offered_bandwidth for p in probe.phases), default=0.0)
+
+    def current_demands(self) -> dict[int, float]:
+        """Offered pool bandwidth per node of the currently running tenants."""
+        return {
+            s.node: s.current_offered_bandwidth()
+            for s in self._inc_states.values()
+            if s.running
+        }
+
+    def progress_rates(self) -> dict[str, float]:
+        """Baseline-seconds of progress per wall-second, per running tenant.
+
+        Rates are exact under the current epoch's frozen backgrounds and the
+        tenants' current phases; they stay valid for at most
+        :meth:`horizon` seconds.
+        """
+        rates: dict[str, float] = {}
+        for name, state in self._inc_states.items():
+            if not state.running or state.phase_index >= len(state.phases):
+                continue
+            profile = state.phases[state.phase_index]
+            rates[name] = self._progress_rate(
+                state, profile, self._inc_backgrounds.get(state.node, 0.0)
+            )
+        return rates
+
+    def horizon(self) -> float:
+        """Wall seconds the current :meth:`progress_rates` stay exact.
+
+        Bounded by the next epoch rollover and by the nearest phase boundary
+        of any running tenant (a new phase runs at a different rate).
+        """
+        if self._inc_epoch is None:
+            raise FabricError(
+                "the co-simulation has no epoch length yet: pass epoch_seconds "
+                "or admit a tenant first"
+            )
+        bound = max(self._inc_epoch - self._inc_epoch_elapsed, 1e-12)
+        for name, rate in self.progress_rates().items():
+            state = self._inc_states[name]
+            profile = state.phases[state.phase_index]
+            remaining = max(profile.runtime - state.phase_elapsed, 0.0)
+            if rate > 0:
+                bound = min(bound, remaining / rate)
+        return max(bound, 1e-12)
+
+    def step(self, dt: float) -> dict[str, float]:
+        """Advance the co-simulation ``dt`` wall-seconds.
+
+        Progress accrues under the current epoch's frozen backgrounds; epoch
+        boundaries crossed inside ``dt`` trigger rollovers (backgrounds are
+        re-resolved mid-step), so arbitrarily large ``dt`` values are legal —
+        but only steps of at most :meth:`horizon` keep rates piecewise
+        constant for the caller's own bookkeeping.  Tenants finishing inside
+        the step get their ``finish_time`` set and stop demanding bandwidth;
+        their leases stay held until :meth:`withdraw`.  Returns the baseline
+        seconds each tenant completed during the step.
+        """
+        if dt < 0:
+            raise FabricError("cannot step the co-simulation backwards")
+        done = {name: 0.0 for name in self._inc_states}
+        remaining = float(dt)
+        while remaining > 1e-15:
+            if self._inc_epoch is None:
+                # Nothing was ever admitted: time passes, no work happens.
+                self._inc_clock += remaining
+                return done
+            chunk = min(remaining, max(self._inc_epoch - self._inc_epoch_elapsed, 0.0))
+            if chunk <= 0:
+                self._rollover_epoch()
+                continue
+            for state in [s for s in self._inc_states.values() if s.running]:
+                before = state.completed_baseline_seconds
+                used = self._advance(
+                    state, self._inc_backgrounds.get(state.node, 0.0), chunk
+                )
+                done[state.spec.name] += state.completed_baseline_seconds - before
+                if used is not None and state.finish_time is None:
+                    state.finish_time = self._inc_clock + used
+            self._inc_clock += chunk
+            self._inc_epoch_elapsed += chunk
+            remaining -= chunk
+            if self._inc_epoch_elapsed >= self._inc_epoch - 1e-12:
+                self._rollover_epoch()
+        return done
+
+    def checkpoint(self) -> EpochCheckpoint:
+        """Snapshot the epoch state for a later :meth:`rollover`."""
+        ordered = sorted(self._inc_states.items())
+        return EpochCheckpoint(
+            clock=self._inc_clock,
+            epoch_elapsed=self._inc_epoch_elapsed,
+            backgrounds=tuple(sorted(self._inc_backgrounds.items())),
+            tenants=tuple(
+                (name, s.phase_index, s.phase_elapsed, s.finish_time)
+                for name, s in ordered
+            ),
+            histories=tuple((name, len(s.background_times)) for name, s in ordered),
+        )
+
+    def rollover(self, checkpoint: EpochCheckpoint) -> None:
+        """Roll the co-simulation back to a previously captured checkpoint.
+
+        Restores the clock, the intra-epoch elapsed time, the frozen
+        backgrounds and every tenant's phase progress, and trims background /
+        telemetry timelines recorded after the checkpoint.  Only legal while
+        the tenant mix is unchanged — :meth:`admit` and :meth:`withdraw`
+        mutate the pool's lease table, which a checkpoint deliberately does
+        not capture.
+        """
+        names = {entry[0] for entry in checkpoint.tenants}
+        if names != set(self._inc_states):
+            raise FabricError(
+                "checkpoint does not match the current tenant mix; checkpoints "
+                "are invalidated by admit() and withdraw()"
+            )
+        self._inc_clock = checkpoint.clock
+        self._inc_epoch_elapsed = checkpoint.epoch_elapsed
+        self._inc_backgrounds = dict(checkpoint.backgrounds)
+        for name, phase_index, phase_elapsed, finish_time in checkpoint.tenants:
+            state = self._inc_states[name]
+            state.phase_index = phase_index
+            state.phase_elapsed = phase_elapsed
+            state.finish_time = finish_time
+        for name, length in checkpoint.histories:
+            state = self._inc_states[name]
+            del state.background_times[length:]
+            del state.background_bandwidths[length:]
+        telemetry = self._inc_telemetry
+        while telemetry.times and telemetry.times[-1] > checkpoint.clock + 1e-12:
+            for series in (
+                telemetry.times,
+                telemetry.leased_bytes,
+                telemetry.queue_depth,
+                telemetry.active_tenants,
+                telemetry.max_port_utilization,
+                telemetry.max_port_waiting_ns,
+            ):
+                series.pop()
+
+    def _state_of(self, name: str) -> _TenantState:
+        try:
+            return self._inc_states[name]
+        except KeyError as exc:
+            raise FabricError(f"no admitted tenant named {name!r}") from exc
+
+    def _rollover_epoch(self) -> None:
+        """Close the current epoch: re-resolve backgrounds, restart the epoch.
+
+        Called at every epoch boundary and on every tenant admission or
+        withdrawal, so the frozen backgrounds always reflect the live tenant
+        mix and their current phases.
+        """
+        running = [s for s in self._inc_states.values() if s.running]
+        demands = {s.node: s.current_offered_bandwidth() for s in running}
+        delivered = self.topology.resolve(demands) if demands else {}
+        self._inc_backgrounds = {
+            s.node: self.topology.background_for(s.node, delivered) for s in running
+        }
+        self._inc_epoch_elapsed = 0.0
+        for state in running:
+            background = self._inc_backgrounds[state.node]
+            if (
+                state.background_times
+                and state.background_times[-1] >= self._inc_clock - 1e-12
+            ):
+                state.background_bandwidths[-1] = background
+            else:
+                state.background_times.append(self._inc_clock)
+                state.background_bandwidths.append(background)
+        if running:
+            telemetry = self._inc_telemetry
+            if telemetry.times and telemetry.times[-1] >= self._inc_clock - 1e-12:
+                for series in (
+                    telemetry.times,
+                    telemetry.leased_bytes,
+                    telemetry.queue_depth,
+                    telemetry.active_tenants,
+                    telemetry.max_port_utilization,
+                    telemetry.max_port_waiting_ns,
+                ):
+                    series.pop()
+            ports = {self.topology.port_of(s.node) for s in running}
+            telemetry.record(
+                self.pool.sample(self._inc_clock),
+                utilization=max(
+                    self.topology.port_utilization(p, demands) for p in ports
+                ),
+                waiting_seconds=max(
+                    self.topology.port_waiting_time(p, demands) for p in ports
+                ),
+            )

@@ -8,6 +8,11 @@ epoch.  :class:`DynamicInterference` packages such a derived timeline as an
 replayed through the ordinary :class:`~repro.sim.engine.ExecutionEngine` with
 the interference the fabric actually produced — closing the loop the paper's
 Section 7.2 extension sketches.
+
+Units: timeline samples are (simulated seconds, bytes/s of background data
+bandwidth); one sample per co-simulation epoch, piecewise constant until the
+next sample (matching the epoch semantics of
+:mod:`repro.fabric.cosim` — backgrounds only change at epoch rollovers).
 """
 
 from __future__ import annotations

@@ -11,6 +11,13 @@ admitted in FIFO order.
 
 The pool only manages *capacity*; bandwidth contention on the way to the pool
 is the :class:`~repro.fabric.topology.FabricTopology`'s job.
+
+Units and coupling: capacities and leases are **bytes**; timestamps are
+simulated seconds supplied by whoever drives the pool (the batch
+:meth:`~repro.fabric.cosim.RackCoSimulator.run` loop, or a scheduler stepping
+the rack incrementally).  When the scheduler couples jobs to fabric tenants,
+one lease mirrors one job's ``pool_gb`` reservation and lives exactly as long
+as the job — the pool never expires leases on its own.
 """
 
 from __future__ import annotations

@@ -11,7 +11,16 @@ saturation).
 
 The topology is stateless: callers pass the current per-node demand map and
 get back background bandwidth, utilisation and link shares.  The
-:class:`~repro.fabric.cosim.RackCoSimulator` drives it epoch by epoch.
+:class:`~repro.fabric.cosim.RackCoSimulator` drives it epoch by epoch, and
+placement policies reuse the same resolution to *project* the pressure a
+prospective tenant would add (statelessness is what makes such what-if
+queries free of side effects).
+
+Units: all demands, backgrounds and delivered values are **bytes/s of data
+payload**; protocol overhead is applied inside the
+:class:`~repro.interconnect.link.RemoteLink` when traffic and Levels of
+Interference are derived.  Node indices are rack-local (0-based), matching
+the tenant→node mapping of the co-simulator.
 """
 
 from __future__ import annotations

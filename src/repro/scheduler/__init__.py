@@ -1,8 +1,16 @@
-"""Interference-aware job scheduling on pooled-memory clusters."""
+"""Interference-aware job scheduling on pooled-memory clusters.
+
+The subsystem couples to :mod:`repro.fabric` through the progress models in
+:mod:`repro.scheduler.progress`: the cluster simulator's event loop asks a
+:class:`ProgressModel` how fast each running job advances, and the
+fabric-coupled implementation answers by stepping one rack co-simulation per
+rack between scheduler events.
+"""
 
 from .cluster import Cluster, Node, Rack
 from .job import Job, JobProfile
 from .policies import (
+    FabricCoupledPlacement,
     InterferenceAwarePlacement,
     LeastLoadedPlacement,
     PlacementPolicy,
@@ -10,6 +18,14 @@ from .policies import (
     PoolAwarePlacement,
     RandomPlacement,
     make_policy,
+)
+from .progress import (
+    FabricCoupledProgress,
+    ProgressModel,
+    StaticCurveProgress,
+    fabric_baseline_runtime,
+    fabric_job_profile,
+    make_progress_model,
 )
 from .simulator import (
     ClusterSimulator,
@@ -24,6 +40,7 @@ __all__ = [
     "Rack",
     "Job",
     "JobProfile",
+    "FabricCoupledPlacement",
     "InterferenceAwarePlacement",
     "LeastLoadedPlacement",
     "PlacementPolicy",
@@ -31,6 +48,12 @@ __all__ = [
     "PoolAwarePlacement",
     "RandomPlacement",
     "make_policy",
+    "FabricCoupledProgress",
+    "ProgressModel",
+    "StaticCurveProgress",
+    "fabric_baseline_runtime",
+    "fabric_job_profile",
+    "make_progress_model",
     "ClusterSimulator",
     "CoLocationResult",
     "CoLocationStudy",

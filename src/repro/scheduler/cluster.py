@@ -4,6 +4,13 @@ The paper's target architecture gives every node a fixed node-local memory and
 lets all nodes of a rack share one fabric-attached memory pool.  Interference
 therefore has rack scope: jobs on different nodes of the same rack disturb
 each other through the shared pool link, jobs in different racks do not.
+
+This module tracks *capacity* (nodes and pool GB) and the static LoI proxy
+(:meth:`Rack.aggregate_loi`).  When the fabric is coupled in
+(:mod:`repro.scheduler.progress`), each :class:`Rack` is mirrored by one
+:class:`~repro.fabric.cosim.RackCoSimulator`: the rack-local position of a
+node in :attr:`Rack.nodes` is the fabric node index its job's tenant runs on,
+and ``pool_capacity_gb`` bounds the mirrored pool's lease capacity.
 """
 
 from __future__ import annotations

@@ -5,6 +5,15 @@ sensitivity (with LBench and the Level-3 methodology) and provide it at job
 submission so the scheduler can make interference-aware co-location decisions.
 :class:`JobProfile` is exactly that submission-time hint, and :class:`Job` is
 one instance of it queued on the cluster.
+
+Units: ``baseline_runtime`` is seconds of interference-free execution (the
+unit the simulator's remaining-work bookkeeping and the fabric coupling's
+progress rates are expressed in), ``induced_loi`` is percent of the pool
+link's peak traffic, ``pool_gb`` is the GB leased from the rack's pool.  For
+fabric-coupled runs, ``workload`` doubles as the key that resolves the job to
+a :class:`~repro.workloads.base.WorkloadSpec` (registry name or explicit
+mapping), and :func:`~repro.scheduler.progress.fabric_job_profile` builds
+profiles whose hints are measured on the fabric's own models.
 """
 
 from __future__ import annotations

@@ -6,6 +6,14 @@ that avoids placing interference-inducing jobs next to sensitive ones
 (emulated by restricting the LoI range to 0-20%).  For the rack-scale
 simulation we generalise that idea into placement policies that choose the
 rack a job lands in.
+
+All policies except :class:`FabricCoupledPlacement` score racks from the
+jobs' *submission-time hints* (``induced_loi``, sensitivity curves, pool GB).
+:class:`FabricCoupledPlacement` instead reads the live state of the
+:class:`~repro.scheduler.progress.FabricCoupledProgress` model driving the
+simulation — the contention it projects is resolved on the same fabric the
+jobs actually run on, so placement sees the emergent interference of the
+co-simulation rather than a static proxy of it.
 """
 
 from __future__ import annotations
@@ -170,11 +178,52 @@ class PoolAwarePlacement:
         return min(acceptable if acceptable else candidates, key=score)
 
 
+@dataclass
+class FabricCoupledPlacement:
+    """Places jobs where the *live* co-simulated fabric has the most headroom.
+
+    Requires the cluster simulation to run with a
+    :class:`~repro.scheduler.progress.FabricCoupledProgress` model (pass the
+    same instance to both the simulator and this policy).  Each candidate rack
+    is scored by the utilisation its busiest pool port would reach with the
+    job's hungriest phase added to the tenants' *current* offered demands —
+    the projection is resolved through the same
+    :class:`~repro.fabric.topology.FabricTopology` the co-simulation steps,
+    so a rack whose tenants currently sit in quiet phases is (correctly)
+    considered calm even if their submission-time hints looked noisy.  Racks
+    whose projected pressure exceeds ``max_port_utilization`` are avoided
+    unless no other rack can host the job; falls back to the static LoI
+    score when no progress model is attached.
+    """
+
+    progress: Optional[object] = None
+    max_port_utilization: float = 0.9
+    name: str = "fabric-coupled"
+
+    def choose_rack(self, cluster: Cluster, job: Job, rng: np.random.Generator) -> Optional[Rack]:
+        candidates = cluster.candidate_racks(job)
+        if not candidates:
+            return None
+        if self.progress is None or not hasattr(self.progress, "projected_port_pressure"):
+            return min(candidates, key=lambda rack: rack.aggregate_loi())
+        pressures = {
+            rack.rack_id: self.progress.projected_port_pressure(rack, job)
+            for rack in candidates
+        }
+        acceptable = [
+            rack
+            for rack in candidates
+            if pressures[rack.rack_id] <= self.max_port_utilization
+        ]
+        return min(acceptable if acceptable else candidates, key=lambda rack: pressures[rack.rack_id])
+
+
 POLICIES = {
     "random": RandomPlacement,
     "least-loaded": LeastLoadedPlacement,
     "interference-aware": InterferenceAwarePlacement,
     "pool-aware": PoolAwarePlacement,
+    "fabric-coupled": FabricCoupledPlacement,
 }
 
 

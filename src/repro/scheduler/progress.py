@@ -1,0 +1,445 @@
+"""Progress models: how running jobs advance between scheduler events.
+
+The :class:`~repro.scheduler.simulator.ClusterSimulator` is an event loop —
+place jobs, advance everyone to the next event, retire finished jobs.  What
+used to be hard-wired inside that loop is *how fast each running job makes
+progress*, and that is exactly where the paper's static methodology and the
+:mod:`repro.fabric` co-simulation differ:
+
+* :class:`StaticCurveProgress` (the default, and the pre-existing behaviour)
+  prices co-location with the submission-time hints of Section 7.2: each
+  co-runner contributes its ``induced_loi`` and a job's rate is the inverse of
+  its measured ``slowdown_at(sum of co-runner LoIs)``.  Interference is a
+  static curve; a slowed-down co-runner keeps "emitting" its nominal LoI.
+* :class:`FabricCoupledProgress` drives the rates from
+  :class:`~repro.fabric.cosim.RackCoSimulator` epochs instead: every rack gets
+  its own incrementally-stepped co-simulation, each running job is admitted as
+  a fabric tenant on its node, and the progress rates fed back to the
+  scheduler are the emergent per-epoch rates the fabric resolves — a tenant in
+  a bandwidth-hungry phase slows its port's co-runners *and therefore itself
+  finishes later, prolonging the interference it causes*, the feedback the
+  static curve cannot express.
+
+Coupling contract (mirrors :mod:`repro.fabric.cosim`)
+-----------------------------------------------------
+
+* **Units.**  Rates returned by :meth:`ProgressModel.rates` are in *profile
+  baseline seconds* per wall-clock second, so the simulator's remaining-work
+  bookkeeping (seeded with ``JobProfile.baseline_runtime``) stays linear.  The
+  fabric co-simulation internally measures progress in *its* baseline seconds
+  (one interference-free engine run per unique workload);
+  :class:`FabricCoupledProgress` rescales between the two, so profiles whose
+  ``baseline_runtime`` came from a different measurement than the fabric's
+  engine run remain usable.
+* **Epoch semantics.**  Fabric-coupled rates are exact only until the next
+  epoch rollover or tenant phase boundary; :meth:`ProgressModel.horizon`
+  exposes that bound and the simulator never advances past it in one event.
+* **Tenant ↔ job mapping.**  Job ``j`` placed on cluster node ``n`` of rack
+  ``r`` becomes fabric tenant ``job-<j>`` on the rack-local node index of
+  ``n`` in rack ``r``'s co-simulator.  The tenant's workload is resolved from
+  ``JobProfile.workload`` via an explicit mapping or the workload registry;
+  its pool lease is ``JobProfile.pool_gb`` (GB -> bytes), mirroring the
+  capacity the cluster model already reserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Protocol
+
+from ..config.errors import SchedulingError
+from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
+from ..fabric.cosim import RackCoSimulator, TenantSpec
+from ..fabric.pool import MemoryPool
+from ..fabric.topology import FabricTopology
+from ..interconnect.link import RemoteLink
+from ..profiler.level3 import SensitivityCurve
+from ..sim.engine import ExecutionEngine
+from ..sim.platform import Platform
+from ..workloads.base import WorkloadSpec
+from ..workloads.registry import build_workload
+from .cluster import Cluster, Rack
+from .job import Job, JobProfile
+
+
+class ProgressModel(Protocol):
+    """How running jobs accrue progress between scheduler events.
+
+    The :class:`~repro.scheduler.simulator.ClusterSimulator` calls these hooks
+    in a fixed order each event-loop iteration: :meth:`rates` (current
+    per-job progress rates), :meth:`horizon` (how long those rates stay
+    valid), then :meth:`advance` with the chosen time step; :meth:`job_started`
+    / :meth:`job_finished` bracket each job's residency.
+    """
+
+    name: str
+
+    def bind(self, cluster: Cluster) -> None:
+        """Attach to (and reset for) one cluster-simulation run."""
+        ...
+
+    def job_started(self, job: Job, rack: Rack, clock: float) -> None:
+        """A job was placed on ``rack`` at ``clock``."""
+        ...
+
+    def job_finished(self, job: Job, rack: Rack, clock: float) -> None:
+        """A job completed and is being retired from ``rack`` at ``clock``."""
+        ...
+
+    def rates(self, clock: float) -> Dict[int, float]:
+        """Progress rate per running job id, in baseline-seconds per second."""
+        ...
+
+    def horizon(self, clock: float) -> Optional[float]:
+        """Seconds the current rates stay valid (None = until the next event)."""
+        ...
+
+    def advance(self, dt: float) -> None:
+        """Commit a time step of ``dt`` seconds (all rates were applied)."""
+        ...
+
+
+def static_rate(job: Job, rack: Rack) -> float:
+    """The paper's static progress rate: 1 / slowdown at the co-runners' LoI.
+
+    Shared by :class:`StaticCurveProgress` and the fabric-coupled model's
+    fallback path, so the static pricing formula exists exactly once.
+    """
+    seen_loi = rack.aggregate_loi(excluding=job)
+    return 1.0 / max(job.profile.slowdown_at(seen_loi), 1.0)
+
+
+@dataclass
+class StaticCurveProgress:
+    """The paper's static pricing: rate = 1 / slowdown_at(co-runners' LoI).
+
+    Each co-runner contributes its submission-time ``induced_loi`` hint; the
+    sum (clipped at 100%) is looked up in the job's measured sensitivity
+    curve.  This is exactly the behaviour :class:`ClusterSimulator` had before
+    progress models existed, preserved as the default.
+    """
+
+    name: str = "static-curve"
+    cluster: Optional[Cluster] = field(default=None, repr=False)
+
+    def bind(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def job_started(self, job: Job, rack: Rack, clock: float) -> None:
+        pass
+
+    def job_finished(self, job: Job, rack: Rack, clock: float) -> None:
+        pass
+
+    def rates(self, clock: float) -> Dict[int, float]:
+        if self.cluster is None:
+            raise SchedulingError("progress model is not bound to a cluster")
+        rates: Dict[int, float] = {}
+        for job in self.cluster.running_jobs:
+            rates[job.job_id] = static_rate(job, self.cluster.rack_of(job))
+        return rates
+
+    def horizon(self, clock: float) -> Optional[float]:
+        return None
+
+    def advance(self, dt: float) -> None:
+        pass
+
+
+def fabric_baseline_runtime(
+    workload: WorkloadSpec,
+    local_fraction: float = 0.5,
+    testbed: TestbedConfig = SKYLAKE_EMULATION,
+    seed: int = 0,
+) -> float:
+    """Interference-free runtime of ``workload`` on the pooled platform.
+
+    This is the same measurement :class:`~repro.fabric.cosim.RackCoSimulator`
+    uses as its per-tenant reference, so job profiles built from it make the
+    static and fabric-coupled models agree exactly on an uncontended fabric.
+    """
+    platform = Platform.pooled(
+        workload.footprint_bytes, local_fraction, testbed=testbed
+    )
+    result = ExecutionEngine(platform, seed=seed).run(workload)
+    return float(sum(p.runtime for p in result.phases))
+
+
+def fabric_job_profile(
+    workload: WorkloadSpec,
+    local_fraction: float = 0.5,
+    testbed: TestbedConfig = SKYLAKE_EMULATION,
+    seed: int = 0,
+    sensitivity: Optional[SensitivityCurve] = None,
+) -> JobProfile:
+    """A :class:`JobProfile` whose hints are measured on the fabric's models.
+
+    ``baseline_runtime`` comes from the interference-free engine run,
+    ``induced_loi`` from the workload's average offered pool bandwidth
+    expressed as a Level of Interference on the pool link, and ``pool_gb``
+    from the remote share of the footprint — so static-curve and
+    fabric-coupled schedulers price the *same* job stream with their two
+    different interference machineries.
+    """
+    platform = Platform.pooled(
+        workload.footprint_bytes, local_fraction, testbed=testbed
+    )
+    result = ExecutionEngine(platform, seed=seed).run(workload)
+    baseline = float(sum(p.runtime for p in result.phases))
+    remote_bytes = float(sum(p.remote_bytes for p in result.phases))
+    link = RemoteLink(testbed)
+    induced = link.loi(remote_bytes / baseline) if baseline > 0 else 0.0
+    return JobProfile(
+        workload=workload.name,
+        baseline_runtime=baseline,
+        sensitivity=sensitivity,
+        induced_loi=induced,
+        pool_gb=workload.footprint_bytes * (1.0 - local_fraction) / 1e9,
+    )
+
+
+@dataclass
+class _CoupledJob:
+    """Bookkeeping linking one running job to its fabric tenant."""
+
+    tenant: str
+    rack_id: int
+    #: profile baseline seconds per fabric baseline second.
+    scale: float
+
+
+class FabricCoupledProgress:
+    """Progress rates from per-rack :class:`RackCoSimulator` epochs.
+
+    Parameters
+    ----------
+    workloads:
+        Mapping from ``JobProfile.workload`` name to the
+        :class:`~repro.workloads.base.WorkloadSpec` a job executes.  Names not
+        in the mapping are resolved through the workload registry (so the
+        paper's six applications work out of the box); anything else raises
+        :class:`SchedulingError` at placement time.
+    local_fraction:
+        Default fraction of a tenant's footprint served node-locally.  Jobs
+        whose ``pool_gb`` implies a different split get that split instead.
+    ports_per_rack / port_capacity_scale:
+        Fabric wiring of each rack's co-simulator (see
+        :class:`~repro.fabric.topology.FabricTopology`).
+    epoch_seconds:
+        Co-simulation step of every rack (None: each rack derives it from its
+        first tenant's baseline runtime).
+    testbed / seed:
+        Platform description and engine seed for the per-tenant baselines.
+    """
+
+    name = "fabric-coupled"
+
+    def __init__(
+        self,
+        workloads: Optional[Mapping[str, WorkloadSpec]] = None,
+        local_fraction: float = 0.5,
+        ports_per_rack: int = 1,
+        port_capacity_scale: float = 1.0,
+        epoch_seconds: Optional[float] = None,
+        testbed: TestbedConfig = SKYLAKE_EMULATION,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < local_fraction <= 1.0:
+            raise SchedulingError("local_fraction must be in (0, 1]")
+        self.workloads = dict(workloads) if workloads else {}
+        self.local_fraction = float(local_fraction)
+        self.ports_per_rack = int(ports_per_rack)
+        self.port_capacity_scale = float(port_capacity_scale)
+        self.epoch_seconds = epoch_seconds
+        self.testbed = testbed
+        self.seed = int(seed)
+        self.cluster: Optional[Cluster] = None
+        self._racks: Dict[int, RackCoSimulator] = {}
+        self._jobs: Dict[int, _CoupledJob] = {}
+
+    # -- lifecycle hooks ---------------------------------------------------------
+
+    def bind(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._racks = {}
+        self._jobs = {}
+
+    def job_started(self, job: Job, rack: Rack, clock: float) -> None:
+        sim = self.rack_simulator(rack)
+        spec = self._tenant_spec(job, clock)
+        node = self._local_node(rack, job)
+        sim.admit(spec, node=node, time=clock)
+        fabric_baseline = sim.baseline_runtime_of(spec.name)
+        scale = (
+            job.profile.baseline_runtime / fabric_baseline
+            if fabric_baseline > 0
+            else 1.0
+        )
+        self._jobs[job.job_id] = _CoupledJob(
+            tenant=spec.name, rack_id=rack.rack_id, scale=scale
+        )
+
+    def job_finished(self, job: Job, rack: Rack, clock: float) -> None:
+        coupled = self._jobs.pop(job.job_id, None)
+        if coupled is not None:
+            self._racks[coupled.rack_id].withdraw(coupled.tenant, time=clock)
+
+    # -- event-loop hooks ----------------------------------------------------------
+
+    def rates(self, clock: float) -> Dict[int, float]:
+        if self.cluster is None:
+            raise SchedulingError("progress model is not bound to a cluster")
+        fabric_rates = {
+            rack_id: sim.progress_rates() for rack_id, sim in self._racks.items()
+        }
+        rates: Dict[int, float] = {}
+        for job in self.cluster.running_jobs:
+            coupled = self._jobs.get(job.job_id)
+            if coupled is None:
+                raise SchedulingError(
+                    f"job {job.job_id} is running but was never coupled to the fabric"
+                )
+            rate = fabric_rates[coupled.rack_id].get(coupled.tenant)
+            if rate is None:
+                # The mirrored lease is queued (possible only when the rack's
+                # pool is provisioned tighter than the cluster model believes)
+                # or the tenant already finished its fabric work: fall back to
+                # the static curve so the simulation cannot deadlock.
+                rates[job.job_id] = static_rate(job, self.cluster.rack_of(job))
+            else:
+                rates[job.job_id] = rate * coupled.scale
+        return rates
+
+    def horizon(self, clock: float) -> Optional[float]:
+        bounds = [
+            sim.horizon()
+            for sim in self._racks.values()
+            if any(state.running for state in sim.tenant_states.values())
+        ]
+        return min(bounds) if bounds else None
+
+    def advance(self, dt: float) -> None:
+        for sim in self._racks.values():
+            sim.step(dt)
+
+    # -- fabric wiring ------------------------------------------------------------
+
+    def rack_simulator(self, rack: Rack) -> RackCoSimulator:
+        """The (lazily created) incremental co-simulator of one rack."""
+        if rack.rack_id not in self._racks:
+            n_nodes = len(rack.nodes)
+            topology = FabricTopology(
+                n_nodes=n_nodes,
+                n_ports=min(self.ports_per_rack, n_nodes),
+                testbed=self.testbed,
+                port_capacity_scale=self.port_capacity_scale,
+            )
+            # Mirror the rack's pool capacity (GB -> bytes, with a rounding
+            # slack so per-job GB->byte rounding can never queue a lease the
+            # cluster model already admitted).
+            capacity = int(round(rack.pool_capacity_gb * 1e9)) + len(rack.nodes)
+            self._racks[rack.rack_id] = RackCoSimulator.incremental(
+                n_nodes=n_nodes,
+                pool=MemoryPool(capacity, name=f"rack-{rack.rack_id}"),
+                topology=topology,
+                testbed=self.testbed,
+                epoch_seconds=self.epoch_seconds,
+                seed=self.seed,
+            )
+        return self._racks[rack.rack_id]
+
+    def projected_port_pressure(self, rack: Rack, job: Job) -> float:
+        """Utilisation of the busiest pool port if ``job`` landed in ``rack``.
+
+        Resolves the rack's *live* offered demands — current phases of the
+        co-simulated tenants, not submission-time hints — plus the prospective
+        job's hungriest-phase demand on the port it would be wired to.  Used
+        by :class:`~repro.scheduler.policies.FabricCoupledPlacement`.
+        """
+        sim = self.rack_simulator(rack)
+        demands = dict(sim.current_demands())
+        free = [
+            n for n in range(sim.topology.n_nodes)
+            if n not in {s.node for s in sim.tenant_states.values()}
+        ]
+        probe_node = free[0] if free else 0
+        spec = self._tenant_spec(job, arrival=0.0, probe=True)
+        demands[probe_node] = demands.get(probe_node, 0.0) + sim.peak_offered_bandwidth(spec)
+        return max(
+            sim.topology.port_utilization(port, demands)
+            for port in range(sim.topology.n_ports)
+        )
+
+    # -- job -> tenant mapping -----------------------------------------------------
+
+    def _workload_of(self, profile: JobProfile) -> WorkloadSpec:
+        if profile.workload in self.workloads:
+            return self.workloads[profile.workload]
+        try:
+            spec = build_workload(profile.workload)
+        except Exception as exc:
+            raise SchedulingError(
+                f"cannot couple job {profile.workload!r} to the fabric: not in "
+                "the explicit workload mapping and not a registry workload. "
+                "Pass FabricCoupledProgress(workloads={name: WorkloadSpec})."
+            ) from exc
+        self.workloads[profile.workload] = spec
+        return spec
+
+    def _tenant_spec(self, job: Job, arrival: float, probe: bool = False) -> TenantSpec:
+        workload = self._workload_of(job.profile)
+        pool_bytes = int(round(job.profile.pool_gb * 1e9))
+        local_fraction = self.local_fraction
+        if workload.footprint_bytes > 0 and pool_bytes > 0:
+            derived = 1.0 - pool_bytes / workload.footprint_bytes
+            # Snap tiny GB->byte rounding noise back to the configured split so
+            # profile caching (keyed on the fraction) stays effective.
+            if abs(derived - self.local_fraction) > 1e-6:
+                local_fraction = min(max(derived, 1e-9), 1.0)
+        name = f"probe-{job.job_id}" if probe else f"job-{job.job_id}"
+        return TenantSpec(
+            name=name,
+            workload=workload,
+            local_fraction=local_fraction,
+            arrival=max(arrival, 0.0),
+            pool_bytes=pool_bytes,
+        )
+
+    def _local_node(self, rack: Rack, job: Job) -> Optional[int]:
+        for index, node in enumerate(rack.nodes):
+            if node.node_id == job.assigned_node:
+                return index
+        return None
+
+    # -- reporting ----------------------------------------------------------------
+
+    def lease_state_of(self, job: Job) -> Optional[str]:
+        """Lease state of a coupled job's fabric tenant (None when unknown)."""
+        coupled = self._jobs.get(job.job_id)
+        if coupled is None:
+            return None
+        state = self._racks[coupled.rack_id].tenant_states.get(coupled.tenant)
+        return state.lease.state if state is not None and state.lease else None
+
+    def describe(self) -> dict:
+        """Wiring summary of the per-rack co-simulators built so far."""
+        return {
+            rack_id: sim.topology.describe() for rack_id, sim in sorted(self._racks.items())
+        }
+
+
+def make_progress_model(name: str, **kwargs) -> ProgressModel:
+    """Instantiate a progress model by name (CLI helper)."""
+    models: Dict[str, Callable[..., ProgressModel]] = {
+        "static": StaticCurveProgress,
+        "static-curve": StaticCurveProgress,
+        "fabric": FabricCoupledProgress,
+        "fabric-coupled": FabricCoupledProgress,
+    }
+    try:
+        cls = models[name]
+    except KeyError as exc:
+        raise SchedulingError(
+            f"unknown progress model {name!r}; known: {sorted(models)}"
+        ) from exc
+    return cls(**kwargs)

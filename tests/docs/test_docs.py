@@ -1,0 +1,69 @@
+"""The documentation subsystem's guarantees: links resolve, snippets run.
+
+The CI docs job runs the same two checks standalone
+(``python tools/check_docs.py`` and ``python -m doctest docs/cli.md``);
+having them in the tier-1 suite means a broken doc cannot even land locally.
+"""
+
+import doctest
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestIntraRepoLinks:
+    def test_docs_exist(self):
+        for name in ("architecture.md", "cli.md", "benchmarks.md"):
+            assert (ROOT / "docs" / name).exists(), f"docs/{name} is missing"
+
+    def test_no_broken_relative_links(self):
+        checker = _load_checker()
+        broken = checker.broken_links(ROOT)
+        assert broken == [], "broken intra-repo links: " + ", ".join(
+            f"{doc.name} -> {target}" for doc, target in broken
+        )
+
+    def test_checker_catches_breakage(self, tmp_path):
+        """The link checker itself works (guards against silent regressions)."""
+        checker = _load_checker()
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text("[gone](docs/nope.md) [ok](docs/ok.md)")
+        (tmp_path / "docs" / "ok.md").write_text("x")
+        broken = checker.broken_links(tmp_path)
+        assert [target for _, target in broken] == ["docs/nope.md"]
+
+
+class TestCliReferenceSnippets:
+    def test_cli_md_doctests_pass(self):
+        failures, tests = doctest.testfile(
+            str(ROOT / "docs" / "cli.md"),
+            module_relative=False,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        )
+        assert tests > 0, "docs/cli.md contains no runnable snippets"
+        assert failures == 0
+
+    def test_every_subcommand_is_documented(self):
+        """docs/cli.md must mention each CLI subcommand by name."""
+        from repro.cli import build_parser
+
+        text = (ROOT / "docs" / "cli.md").read_text(encoding="utf-8")
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if action.__class__.__name__ == "_SubParsersAction"
+        )
+        for name in subparsers.choices:
+            assert f"`{name}`" in text, f"subcommand {name!r} undocumented in docs/cli.md"

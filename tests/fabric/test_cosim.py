@@ -211,6 +211,141 @@ class TestDynamicInterferenceAdapter:
         assert replay.interference_loi == pytest.approx(dyn.mean_loi())
 
 
+class TestIncrementalStepping:
+    """The scheduler-facing API: admit/withdraw/step/checkpoint/rollover."""
+
+    def _incremental(self, n=3, epoch_seconds=None, **kwargs):
+        return RackCoSimulator.incremental(
+            n_nodes=n, epoch_seconds=epoch_seconds, **kwargs
+        )
+
+    def test_matches_batch_run(self):
+        """Admitting everyone at t=0 and stepping to completion reproduces
+        the batch run() exactly (same epochs, same backgrounds)."""
+        specs = tenants(3)
+        batch = RackCoSimulator(specs).run()
+        inc = self._incremental(3, epoch_seconds=batch.epoch_seconds)
+        for i, spec in enumerate(specs):
+            lease = inc.admit(spec, node=i)
+            assert lease.state == "granted"
+        inc.step(batch.makespan * 2)
+        for outcome in batch.finished_tenants:
+            state = inc.tenant_states[outcome.name]
+            assert state.finish_time == pytest.approx(outcome.finish_time, abs=1e-9)
+
+    def test_step_returns_baseline_seconds(self):
+        spec = bandwidth_hungry_spec()
+        inc = self._incremental(1)
+        inc.admit(TenantSpec(name="solo", workload=spec, local_fraction=0.5))
+        total = inc.baseline_runtime_of("solo")
+        done = inc.step(total / 2)
+        # Alone on the port: one wall second is one baseline second.
+        assert done["solo"] == pytest.approx(total / 2, rel=1e-9)
+        assert inc.clock == pytest.approx(total / 2)
+
+    def test_horizon_bounds_epoch_and_rates_are_constant_within_it(self):
+        inc = self._incremental(2, epoch_seconds=0.5)
+        for spec in tenants(2):
+            inc.admit(spec)
+        horizon = inc.horizon()
+        assert 0 < horizon <= 0.5
+        rates_before = inc.progress_rates()
+        inc.step(horizon * 0.5)
+        assert inc.progress_rates() == rates_before
+
+    def test_withdraw_releases_interference_and_pool(self):
+        specs = tenants(2)
+        inc = self._incremental(2)
+        for spec in specs:
+            inc.admit(spec)
+        contended = inc.progress_rates()["t0"]
+        inc.withdraw("t1")
+        alone = inc.progress_rates()["t0"]
+        assert alone > contended
+        assert alone == pytest.approx(1.0, rel=1e-9)
+        assert inc.pool.leased_bytes == specs[0].lease_bytes
+
+    def test_withdraw_admits_queued_tenant(self):
+        spec = bandwidth_hungry_spec()
+        lease_bytes = TenantSpec(name="x", workload=spec, local_fraction=0.5).lease_bytes
+        inc = self._incremental(2, pool=MemoryPool(lease_bytes + 1))
+        first = inc.admit(TenantSpec(name="a", workload=spec, local_fraction=0.5))
+        second = inc.admit(TenantSpec(name="b", workload=spec, local_fraction=0.5))
+        assert first.state == "granted" and second.state == "queued"
+        assert "b" not in inc.progress_rates()
+        inc.withdraw("a")
+        assert second.state == "granted"
+        assert "b" in inc.progress_rates()
+
+    def test_checkpoint_rollover_is_deterministic(self):
+        """The ISSUE's regression: re-stepping from a rolled-over checkpoint
+        reproduces the speculative step bit for bit."""
+        inc = self._incremental(3, epoch_seconds=0.05)
+        for spec in tenants(3):
+            inc.admit(spec)
+        inc.step(0.1)
+        checkpoint = inc.checkpoint()
+        first = inc.step(0.7)
+        first_states = {
+            name: (s.phase_index, s.phase_elapsed, s.finish_time)
+            for name, s in inc.tenant_states.items()
+        }
+        inc.rollover(checkpoint)
+        assert inc.clock == checkpoint.clock
+        second = inc.step(0.7)
+        assert first == second
+        second_states = {
+            name: (s.phase_index, s.phase_elapsed, s.finish_time)
+            for name, s in inc.tenant_states.items()
+        }
+        assert first_states == second_states
+
+    def test_rollover_trims_recorded_timelines(self):
+        inc = self._incremental(2, epoch_seconds=0.05)
+        for spec in tenants(2):
+            inc.admit(spec)
+        checkpoint = inc.checkpoint()
+        telemetry_len = len(inc.telemetry.times)
+        inc.step(0.5)
+        assert len(inc.telemetry.times) > telemetry_len
+        inc.rollover(checkpoint)
+        assert len(inc.telemetry.times) == telemetry_len
+        state = inc.tenant_states["t0"]
+        assert len(state.background_times) == dict(checkpoint.histories)["t0"]
+
+    def test_checkpoint_invalidated_by_membership_change(self):
+        specs = tenants(2)
+        inc = self._incremental(2)
+        inc.admit(specs[0])
+        checkpoint = inc.checkpoint()
+        inc.admit(specs[1])
+        with pytest.raises(FabricError):
+            inc.rollover(checkpoint)
+
+    def test_admit_validation(self):
+        spec = bandwidth_hungry_spec()
+        inc = self._incremental(1)
+        inc.admit(TenantSpec(name="a", workload=spec, local_fraction=0.5))
+        with pytest.raises(FabricError):  # duplicate name
+            inc.admit(TenantSpec(name="a", workload=spec, local_fraction=0.5))
+        with pytest.raises(FabricError):  # no free node
+            inc.admit(TenantSpec(name="b", workload=spec, local_fraction=0.5))
+        with pytest.raises(FabricError):  # unknown tenant
+            inc.withdraw("nope")
+        with pytest.raises(FabricError):  # negative step
+            inc.step(-1.0)
+
+    def test_admit_in_the_past_rejected(self):
+        spec = bandwidth_hungry_spec()
+        inc = self._incremental(2)
+        inc.admit(TenantSpec(name="a", workload=spec, local_fraction=0.5))
+        inc.step(1.0)
+        with pytest.raises(FabricError, match="in the past"):
+            inc.admit(
+                TenantSpec(name="b", workload=spec, local_fraction=0.5), time=0.5
+            )
+
+
 class TestResultReporting:
     def test_summary_structure(self):
         result = RackCoSimulator(tenants(2)).run()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Check intra-repo links in the repository's Markdown documentation.
+
+Scans ``README.md`` and every ``docs/*.md`` file for Markdown links and
+reference-style definitions, and verifies that every *relative* target (not
+``http(s)://``, ``mailto:`` or a pure ``#anchor``) resolves to an existing
+file or directory, relative to the file containing the link.
+
+Exits non-zero listing every broken link — the CI docs job runs this, and
+``tests/docs/test_docs.py`` runs it in-process so the tier-1 suite catches
+broken links too.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links ``[text](target)``; images share the syntax via a leading ``!``.
+_INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference definitions ``[label]: target``.
+_REF_DEF = re.compile(r"^\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files(root: Path) -> list[Path]:
+    """The Markdown files whose links we guarantee."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def iter_links(text: str) -> list[str]:
+    """All link targets in one Markdown document."""
+    targets = _INLINE_LINK.findall(text)
+    targets.extend(_REF_DEF.findall(text))
+    return targets
+
+
+def broken_links(root: Path) -> list[tuple[Path, str]]:
+    """(file, target) pairs whose relative target does not exist."""
+    broken: list[tuple[Path, str]] = []
+    for doc in iter_doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for target in iter_links(text):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append((doc, target))
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = broken_links(root)
+    if broken:
+        for doc, target in broken:
+            print(f"{doc.relative_to(root)}: broken link -> {target}", file=sys.stderr)
+        return 1
+    checked = len(iter_doc_files(root))
+    print(f"docs link check: {checked} files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
