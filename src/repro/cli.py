@@ -23,11 +23,12 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from . import analysis
+from . import analysis, telemetry
 from .analysis.tables import format_table
 from .casestudies.bfs_placement import BFSPlacementCaseStudy
 from .casestudies.scheduling import SchedulingCaseStudy
 from .profiler.profiler import MultiLevelProfiler
+from .telemetry.report import render_report
 from .workloads.registry import build_workload, workload_names
 
 
@@ -247,6 +248,21 @@ def cmd_fabric(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Render a telemetry dump: metrics catalog plus top spans."""
+    if args.action != "report":
+        print(f"unknown telemetry action {args.action!r}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            dump = telemetry.read_jsonl(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read telemetry dump {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(dump.registry, dump.tracer, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dmem",
@@ -255,6 +271,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record metrics and trace spans during the command and print a "
+        "telemetry report afterwards",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the recorded metrics + spans to PATH as JSONL "
+        "(implies --telemetry; read it back with 'telemetry report PATH')",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_table = sub.add_parser("table", help="regenerate a table")
@@ -353,14 +382,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fabric.set_defaults(func=cmd_fabric)
 
+    p_tel = sub.add_parser(
+        "telemetry", help="inspect recorded telemetry (metrics + trace spans)"
+    )
+    p_tel.add_argument("action", choices=("report",), help="what to do with the dump")
+    p_tel.add_argument("file", help="JSONL dump written by --trace-out")
+    p_tel.add_argument(
+        "--top", type=int, default=10, help="span names to list (by total time)"
+    )
+    p_tel.set_defaults(func=cmd_telemetry)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    ``--telemetry`` / ``--trace-out`` bracket the whole command: recording is
+    enabled (on a fresh registry/tracer) before the subcommand runs, the
+    JSONL dump is written after it returns, and the in-process report is
+    printed when no dump path was given.  Telemetry is switched off again
+    before returning so repeated in-process calls (doctests, tests) stay
+    independent.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    record = bool(getattr(args, "telemetry", False) or getattr(args, "trace_out", None))
+    if record:
+        telemetry.enable(reset=True)
+    try:
+        status = args.func(args)
+    finally:
+        if record:
+            telemetry.disable()
+    if record and status == 0:
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                telemetry.write_jsonl(fh)
+            print(f"telemetry written to {args.trace_out}", file=sys.stderr)
+        else:
+            print(render_report(telemetry.registry(), telemetry.tracer()))
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

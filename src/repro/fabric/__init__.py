@@ -34,9 +34,11 @@ from .pool import (
     MemoryPool,
     PoolSample,
 )
-from .topology import FabricTopology
+from .topology import FabricConvergenceWarning, FabricTopology, SolveDiagnostics
 
 __all__ = [
+    "FabricConvergenceWarning",
+    "SolveDiagnostics",
     "EpochCheckpoint",
     "RackCoSimResult",
     "RackCoSimulator",

@@ -55,7 +55,7 @@ driven **incrementally** by an external scheduler, one rack per simulator:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 import numpy as np
@@ -65,6 +65,7 @@ from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
 from ..sim.engine import ExecutionEngine
 from ..sim.perfmodel import PerformanceModel, PhaseInputs
 from ..sim.platform import Platform
+from ..telemetry import TimeSeries, metrics, trace_span
 from ..workloads.base import WorkloadSpec
 from .interference import DynamicInterference
 from .pool import LEASE_GRANTED, LEASE_QUEUED, LEASE_REJECTED, MemoryPool, PoolSample
@@ -238,36 +239,99 @@ class TenantOutcome:
         return self.runtime / self.baseline_runtime
 
 
-@dataclass
-class RackTelemetry:
-    """Epoch-resolution timeline of the shared pool and its fabric ports."""
+#: Columns of the per-rack epoch timeline (shared by every RackTelemetry).
+_TIMELINE_COLUMNS = (
+    "leased_bytes",
+    "queue_depth",
+    "active_tenants",
+    "max_port_utilization",
+    "max_port_waiting_ns",
+)
 
-    times: list[float] = field(default_factory=list)
-    leased_bytes: list[int] = field(default_factory=list)
-    queue_depth: list[int] = field(default_factory=list)
-    active_tenants: list[int] = field(default_factory=list)
-    max_port_utilization: list[float] = field(default_factory=list)
-    max_port_waiting_ns: list[float] = field(default_factory=list)
+
+class RackTelemetry:
+    """Epoch-resolution timeline of the shared pool and its fabric ports.
+
+    A thin adapter over one :class:`repro.telemetry.TimeSeries` — the rows
+    live in the telemetry instrument, not in a parallel set of hand-rolled
+    lists — plus live registry gauges (``fabric.pool.leased_bytes``,
+    ``fabric.pool.queue_depth``) and a ``fabric.port.utilization`` histogram
+    updated on every recorded epoch.  The timeline itself always records
+    (it is simulation output feeding the pool-timeline figure), while the
+    registry side honours the process-wide telemetry enable flag.  The
+    public :meth:`series` shape is unchanged.
+    """
+
+    def __init__(self, series: Optional[TimeSeries] = None) -> None:
+        self._timeline = (
+            series
+            if series is not None
+            else TimeSeries("fabric.rack.timeline", _TIMELINE_COLUMNS)
+        )
+
+    # Column views (kept for callers that index the raw timeline).
+
+    @property
+    def times(self) -> list[float]:
+        return self._timeline.times
+
+    @property
+    def leased_bytes(self) -> list[int]:
+        return self._timeline.column("leased_bytes")
+
+    @property
+    def queue_depth(self) -> list[int]:
+        return self._timeline.column("queue_depth")
+
+    @property
+    def active_tenants(self) -> list[int]:
+        return self._timeline.column("active_tenants")
+
+    @property
+    def max_port_utilization(self) -> list[float]:
+        return self._timeline.column("max_port_utilization")
+
+    @property
+    def max_port_waiting_ns(self) -> list[float]:
+        return self._timeline.column("max_port_waiting_ns")
+
+    def __len__(self) -> int:
+        return len(self._timeline)
 
     def record(
         self, sample: PoolSample, utilization: float, waiting_seconds: float
     ) -> None:
-        self.times.append(sample.time)
-        self.leased_bytes.append(sample.leased_bytes)
-        self.queue_depth.append(sample.queue_depth)
-        self.active_tenants.append(sample.active_leases)
-        self.max_port_utilization.append(utilization)
-        self.max_port_waiting_ns.append(waiting_seconds / 1e-9)
+        self._timeline.append(
+            sample.time,
+            leased_bytes=sample.leased_bytes,
+            queue_depth=sample.queue_depth,
+            active_tenants=sample.active_leases,
+            max_port_utilization=utilization,
+            max_port_waiting_ns=waiting_seconds / 1e-9,
+        )
+        registry = metrics()
+        registry.gauge("fabric.pool.leased_bytes").set(sample.leased_bytes)
+        registry.gauge("fabric.pool.queue_depth").set(sample.queue_depth)
+        registry.histogram("fabric.port.utilization").observe(utilization)
+
+    def drop_last(self) -> None:
+        """Remove the most recent epoch sample (same-instant re-record)."""
+        self._timeline.drop_last()
+
+    def trim_after(self, time: float) -> None:
+        """Drop samples recorded after ``time`` (checkpoint rollback)."""
+        self._timeline.trim_after(time)
 
     def series(self) -> dict:
         """The timeline as plain arrays (for figures and JSON output)."""
+        raw = self._timeline.series()
         return {
-            "time": list(self.times),
-            "leased_gb": [b / 1e9 for b in self.leased_bytes],
-            "queue_depth": list(self.queue_depth),
-            "active_tenants": list(self.active_tenants),
-            "max_port_utilization": list(self.max_port_utilization),
-            "max_port_waiting_ns": list(self.max_port_waiting_ns),
+            "time": raw["time"],
+            "leased_gb": [b / 1e9 for b in raw["leased_bytes"]],
+            "queue_depth": raw["queue_depth"],
+            "active_tenants": raw["active_tenants"],
+            "max_port_utilization": raw["max_port_utilization"],
+            "max_port_waiting_ns": raw["max_port_waiting_ns"],
         }
 
 
@@ -499,10 +563,12 @@ class RackCoSimulator:
         state.perf = PerformanceModel(self.testbed, port_link)
         key = (id(spec.workload), spec.local_fraction)
         if key not in cache:
-            platform = Platform.pooled(
-                spec.workload.footprint_bytes, spec.local_fraction, testbed=self.testbed
-            )
-            result = ExecutionEngine(platform, seed=self.seed).run(spec.workload)
+            metrics().counter("fabric.profile.runs").inc()
+            with trace_span("fabric.profile", workload=spec.workload.name):
+                platform = Platform.pooled(
+                    spec.workload.footprint_bytes, spec.local_fraction, testbed=self.testbed
+                )
+                result = ExecutionEngine(platform, seed=self.seed).run(spec.workload)
             profiles = []
             for phase_spec, phase in zip(spec.workload.phases, result.phases):
                 profile = _PhaseProfile(
@@ -520,6 +586,8 @@ class RackCoSimulator:
                     )
                 )
             cache[key] = (platform, tuple(profiles))
+        else:
+            metrics().counter("fabric.profile.cache_hits").inc()
         state.platform, state.phases = cache[key]
         state.baseline_runtime = float(sum(p.runtime for p in state.phases))
 
@@ -550,6 +618,10 @@ class RackCoSimulator:
 
     def run(self) -> RackCoSimResult:
         """Co-simulate all tenants to completion (or rejection)."""
+        with trace_span("fabric.run", tenants=len(self.tenants)):
+            return self._run()
+
+    def _run(self) -> RackCoSimResult:
         states = [_TenantState(spec, node=i) for i, spec in enumerate(self.tenants)]
         profile_cache: dict = {}
         for state in states:
@@ -561,9 +633,11 @@ class RackCoSimulator:
             epoch_seconds = max(longest / 40.0, 1e-6)
 
         telemetry = RackTelemetry()
+        epochs = metrics().counter("fabric.cosim.epochs")
         clock = 0.0
         max_leased = 0
         for _ in range(self.MAX_EPOCHS):
+            epochs.inc()
             # Submit arrivals.
             for state in states:
                 if state.lease is None and state.spec.arrival <= clock:
@@ -748,6 +822,7 @@ class RackCoSimulator:
                 raise FabricError("cannot admit a tenant in the past")
             if time > self._inc_clock:
                 self.step(time - self._inc_clock)
+        metrics().counter("fabric.cosim.admitted").inc()
         state = _TenantState(spec, node=node)
         self._profile_tenant(state, self._inc_cache)
         if self._inc_epoch is None:
@@ -768,6 +843,7 @@ class RackCoSimulator:
             raise FabricError(f"no admitted tenant named {name!r}")
         if time is not None and time > self._inc_clock:
             self.step(time - self._inc_clock)
+        metrics().counter("fabric.cosim.withdrawn").inc()
         state = self._inc_states.pop(name)
         if state.lease is not None and state.lease.state in (LEASE_GRANTED, LEASE_QUEUED):
             self.pool.release(state.lease, time=self._inc_clock)
@@ -847,6 +923,9 @@ class RackCoSimulator:
         """
         if dt < 0:
             raise FabricError("cannot step the co-simulation backwards")
+        registry = metrics()
+        registry.counter("fabric.cosim.step_calls").inc()
+        registry.counter("fabric.cosim.stepped_seconds").inc(dt)
         done = {name: 0.0 for name in self._inc_states}
         remaining = float(dt)
         while remaining > 1e-15:
@@ -875,6 +954,7 @@ class RackCoSimulator:
 
     def checkpoint(self) -> EpochCheckpoint:
         """Snapshot the epoch state for a later :meth:`rollover`."""
+        metrics().counter("fabric.cosim.checkpoints").inc()
         ordered = sorted(self._inc_states.items())
         return EpochCheckpoint(
             clock=self._inc_clock,
@@ -915,17 +995,8 @@ class RackCoSimulator:
             state = self._inc_states[name]
             del state.background_times[length:]
             del state.background_bandwidths[length:]
-        telemetry = self._inc_telemetry
-        while telemetry.times and telemetry.times[-1] > checkpoint.clock + 1e-12:
-            for series in (
-                telemetry.times,
-                telemetry.leased_bytes,
-                telemetry.queue_depth,
-                telemetry.active_tenants,
-                telemetry.max_port_utilization,
-                telemetry.max_port_waiting_ns,
-            ):
-                series.pop()
+        self._inc_telemetry.trim_after(checkpoint.clock)
+        metrics().counter("fabric.cosim.rollbacks").inc()
 
     def _state_of(self, name: str) -> _TenantState:
         try:
@@ -940,6 +1011,7 @@ class RackCoSimulator:
         withdrawal, so the frozen backgrounds always reflect the live tenant
         mix and their current phases.
         """
+        metrics().counter("fabric.cosim.epoch_rollovers").inc()
         running = [s for s in self._inc_states.values() if s.running]
         demands = {s.node: s.current_offered_bandwidth() for s in running}
         delivered = self.topology.resolve(demands) if demands else {}
@@ -960,15 +1032,7 @@ class RackCoSimulator:
         if running:
             telemetry = self._inc_telemetry
             if telemetry.times and telemetry.times[-1] >= self._inc_clock - 1e-12:
-                for series in (
-                    telemetry.times,
-                    telemetry.leased_bytes,
-                    telemetry.queue_depth,
-                    telemetry.active_tenants,
-                    telemetry.max_port_utilization,
-                    telemetry.max_port_waiting_ns,
-                ):
-                    series.pop()
+                telemetry.drop_last()
             ports = {self.topology.port_of(s.node) for s in running}
             telemetry.record(
                 self.pool.sample(self._inc_clock),

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..config.errors import FabricError
+from ..telemetry import metrics
 
 #: Lease lifecycle states.
 LEASE_GRANTED = "granted"
@@ -168,13 +169,16 @@ class MemoryPool:
         self._leases.append(lease)
         if lease.nbytes > self.capacity_bytes:
             lease.state = LEASE_REJECTED
+            metrics().counter("fabric.pool.rejected").inc()
         elif lease.nbytes == 0 or (lease.nbytes <= self.free_bytes and not self._queue):
             # Zero-byte requests occupy nothing, so they never wait behind the
             # queue; non-zero requests must not overtake earlier queued ones.
             lease.state = LEASE_GRANTED
             lease.granted_at = float(time)
+            metrics().counter("fabric.pool.granted").inc()
         else:
             self._queue.append(lease)
+            metrics().counter("fabric.pool.queued").inc()
         return lease
 
     def release(self, lease: Lease, time: float = 0.0) -> list[Lease]:
@@ -188,6 +192,7 @@ class MemoryPool:
             self._queue.remove(lease)
             lease.state = LEASE_RELEASED
             lease.released_at = float(time)
+            metrics().counter("fabric.pool.released").inc()
             return self._admit(time)
         if lease.state != LEASE_GRANTED:
             raise FabricError(
@@ -196,6 +201,7 @@ class MemoryPool:
             )
         lease.state = LEASE_RELEASED
         lease.released_at = float(time)
+        metrics().counter("fabric.pool.released").inc()
         return self._admit(time)
 
     def _admit(self, time: float) -> list[Lease]:
@@ -206,6 +212,8 @@ class MemoryPool:
             lease.state = LEASE_GRANTED
             lease.granted_at = float(time)
             admitted.append(lease)
+        if admitted:
+            metrics().counter("fabric.pool.granted").inc(len(admitted))
         return admitted
 
     def describe(self) -> dict:

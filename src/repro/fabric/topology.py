@@ -25,13 +25,46 @@ the tenant→node mapping of the co-simulator.
 
 from __future__ import annotations
 
-from dataclasses import replace
+import warnings
+from dataclasses import dataclass, replace
 from typing import Mapping
 
 from ..config.errors import FabricError
 from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
 from ..interconnect.link import LinkShare, RemoteLink
 from ..interconnect.queueing import QueueingModel
+from ..telemetry import metrics, trace_span
+
+
+class FabricConvergenceWarning(RuntimeWarning):
+    """The damped fixed-point solver exhausted its iteration budget."""
+
+
+@dataclass(frozen=True)
+class SolveDiagnostics:
+    """What one fixed-point contention resolution actually did.
+
+    Attributes
+    ----------
+    delivered:
+        Resolved per-node delivered bandwidth, bytes/s (the solver's answer).
+    iterations:
+        Fixed-point iterations executed before convergence (or the budget).
+    converged:
+        Whether the final update moved every node by less than the tolerance.
+    residual:
+        The last iteration's largest per-node update, bytes/s — 0 exactly
+        when no node moved, below the tolerance when ``converged``.
+    damping:
+        The damping factor actually used (derived from the sharing degree
+        when the caller did not pass one).
+    """
+
+    delivered: dict[int, float]
+    iterations: int
+    converged: bool
+    residual: float
+    damping: float
 
 
 class FabricTopology:
@@ -135,6 +168,21 @@ class FabricTopology:
     ) -> dict[int, float]:
         """Delivered bandwidth per node under mutual port contention, bytes/s.
 
+        Convenience wrapper over :meth:`resolve_detailed` for callers that
+        only want the allocation; the full convergence diagnostics (and the
+        non-convergence warning) live there.
+        """
+        return self.resolve_detailed(demands, iterations, damping, tolerance).delivered
+
+    def resolve_detailed(
+        self,
+        demands: Mapping[int, float],
+        iterations: int = 64,
+        damping: float | None = None,
+        tolerance: float = 1e6,
+    ) -> SolveDiagnostics:
+        """Resolve port contention and report what the solver did.
+
         Every node's delivered bandwidth depends on how much its co-runners
         actually move (not on what they merely ask for: a throttled co-runner
         stops eating capacity it cannot use), so the allocation is resolved
@@ -149,6 +197,12 @@ class FabricTopology:
         (an explicit ``damping`` overrides it).  ``tolerance`` is the
         convergence threshold in bytes/s (1 MB/s by default — far below any
         bandwidth that matters here).
+
+        The returned :class:`SolveDiagnostics` records iterations used,
+        convergence and the final residual; a solve that exhausts its budget
+        additionally emits a :class:`FabricConvergenceWarning` and bumps the
+        ``fabric.solve.nonconverged`` telemetry counter, so silent
+        non-convergence cannot skew results unnoticed.
         """
         if damping is not None and not 0.0 < damping <= 1.0:
             raise FabricError("damping must be in (0, 1]")
@@ -161,26 +215,50 @@ class FabricTopology:
                 default=1,
             )
             damping = 1.0 / max(max_sharing, 1)
-        delivered = {n: self._node_demand(n, demands) for n in demands}
-        for _ in range(max(int(iterations), 1)):
+        with trace_span("fabric.solve", nodes=len(demands)):
+            delivered = {n: self._node_demand(n, demands) for n in demands}
             max_delta = 0.0
-            updated: dict[int, float] = {}
-            for node in delivered:
-                offered = self._node_demand(node, demands)
-                background = sum(
-                    delivered[other]
-                    for other in self.nodes_on_port(self.port_of(node))
-                    if other != node and other in delivered
-                )
-                share = self.link_of(node).share(offered, background)
-                target = min(offered, share.available_bandwidth)
-                new_value = delivered[node] + damping * (target - delivered[node])
-                max_delta = max(max_delta, abs(new_value - delivered[node]))
-                updated[node] = new_value
-            delivered = updated
-            if max_delta < tolerance:
-                break
-        return delivered
+            converged = False
+            used = 0
+            for _ in range(max(int(iterations), 1)):
+                used += 1
+                max_delta = 0.0
+                updated: dict[int, float] = {}
+                for node in delivered:
+                    offered = self._node_demand(node, demands)
+                    background = sum(
+                        delivered[other]
+                        for other in self.nodes_on_port(self.port_of(node))
+                        if other != node and other in delivered
+                    )
+                    share = self.link_of(node).share(offered, background)
+                    target = min(offered, share.available_bandwidth)
+                    new_value = delivered[node] + damping * (target - delivered[node])
+                    max_delta = max(max_delta, abs(new_value - delivered[node]))
+                    updated[node] = new_value
+                delivered = updated
+                if max_delta < tolerance:
+                    converged = True
+                    break
+        registry = metrics()
+        registry.counter("fabric.solve.calls").inc()
+        registry.histogram("fabric.solve.iterations").observe(used)
+        if not converged:
+            registry.counter("fabric.solve.nonconverged").inc()
+            warnings.warn(
+                f"fixed-point contention solve did not converge within {used} "
+                f"iterations (residual {max_delta:.3g} bytes/s, tolerance "
+                f"{tolerance:.3g}); results reflect the last iterate",
+                FabricConvergenceWarning,
+                stacklevel=2,
+            )
+        return SolveDiagnostics(
+            delivered=delivered,
+            iterations=used,
+            converged=converged,
+            residual=max_delta,
+            damping=damping,
+        )
 
     def share_for(self, node: int, demands: Mapping[int, float]) -> LinkShare:
         """Resolve port contention from one node's perspective.

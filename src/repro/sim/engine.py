@@ -30,6 +30,7 @@ from ..cache.events import CounterSet
 from ..config.errors import ConfigurationError, WorkloadError
 from ..memory.objects import AddressSpace, MemoryObject
 from ..memory.tiered import TieredMemory
+from ..telemetry import metrics, trace_span
 from ..trace.access import PageAccessProfile
 from ..workloads.base import PhaseSpec, WorkloadSpec
 from .interference import InterferenceSource, NoInterference
@@ -117,24 +118,28 @@ class ExecutionEngine:
         """
         interference = interference if interference is not None else NoInterference()
         rng = np.random.default_rng(self.seed)
+        registry = metrics()
+        registry.counter("engine.runs").inc()
+        registry.counter("engine.phases").inc(len(spec.phases))
 
-        space, memory, objects = self._build_memory(spec, reserved_local_bytes)
-        prefetch = (
-            self.platform.testbed.prefetcher.enabled
-            if prefetch_enabled is None
-            else bool(prefetch_enabled)
-        )
-
-        phase_results: list[PhaseResult] = []
-        clock = 0.0
-        for index, phase in enumerate(spec.phases):
-            if index == 1:
-                self._apply_post_init_changes(spec, memory, objects)
-            result = self._run_phase(
-                spec, phase, memory, objects, rng, prefetch, interference, clock
+        with trace_span("engine.run", workload=spec.name):
+            space, memory, objects = self._build_memory(spec, reserved_local_bytes)
+            prefetch = (
+                self.platform.testbed.prefetcher.enabled
+                if prefetch_enabled is None
+                else bool(prefetch_enabled)
             )
-            phase_results.append(result)
-            clock += result.runtime
+
+            phase_results: list[PhaseResult] = []
+            clock = 0.0
+            for index, phase in enumerate(spec.phases):
+                if index == 1:
+                    self._apply_post_init_changes(spec, memory, objects)
+                result = self._run_phase(
+                    spec, phase, memory, objects, rng, prefetch, interference, clock
+                )
+                phase_results.append(result)
+                clock += result.runtime
 
         placements = tuple(
             ObjectPlacementResult(

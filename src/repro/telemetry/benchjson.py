@@ -1,0 +1,100 @@
+"""Schema of the committed perf-benchmark trajectory (``BENCH_cosim.json``).
+
+``tools/bench_perf.py`` emits one schema-versioned JSON document per run;
+the copy at the repository root is the recorded perf point of the current
+PR, and CI's perf-smoke job validates every freshly emitted document against
+:func:`validate_bench` so the trajectory stays machine-comparable across
+PRs before any thresholds are enforced.
+
+Document shape (version 1)::
+
+    {
+      "schema": "repro.bench.cosim",
+      "version": 1,
+      "created_unix": 1754524800.0,
+      "quick": false,
+      "python": "3.12.3",
+      "benchmarks": [
+        {"name": "fabric_solver.small", "group": "fabric_solver",
+         "config": {...}, "repeats": 30,
+         "mean_s": ..., "min_s": ..., "throughput_per_s": ...,
+         "extra": {...}},
+        ...
+      ],
+      "telemetry_overhead": {
+        "noop_span_ns": ..., "noop_counter_ns": ...,
+        "events": ..., "hook_calls": ...,
+        "disabled_wall_s": ..., "enabled_wall_s": ...,
+        "enabled_overhead_pct": ..., "disabled_overhead_pct": ...
+      }
+    }
+
+Every benchmark group must be present so a missing measurement is a schema
+error, not a silently shorter file.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+BENCH_SCHEMA = "repro.bench.cosim"
+BENCH_SCHEMA_VERSION = 1
+
+#: Groups a valid document must cover (the acceptance surface of the harness).
+REQUIRED_GROUPS = ("fabric_solver", "rack_cosim_step", "cluster_events")
+
+_BENCH_KEYS = ("name", "group", "config", "repeats", "mean_s", "min_s", "throughput_per_s")
+_OVERHEAD_KEYS = (
+    "noop_span_ns",
+    "noop_counter_ns",
+    "events",
+    "hook_calls",
+    "disabled_wall_s",
+    "enabled_wall_s",
+    "enabled_overhead_pct",
+    "disabled_overhead_pct",
+)
+
+
+def validate_bench(data: Mapping) -> list[str]:
+    """All schema violations of one bench document (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(data, Mapping):
+        return ["document is not a JSON object"]
+    if data.get("schema") != BENCH_SCHEMA:
+        errors.append(f"schema is {data.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    if data.get("version") != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"version is {data.get('version')!r}, expected {BENCH_SCHEMA_VERSION}"
+        )
+    for key in ("created_unix", "python"):
+        if key not in data:
+            errors.append(f"missing top-level key {key!r}")
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        errors.append("benchmarks must be a non-empty list")
+        benchmarks = []
+    groups = set()
+    for i, bench in enumerate(benchmarks):
+        if not isinstance(bench, Mapping):
+            errors.append(f"benchmarks[{i}] is not an object")
+            continue
+        for key in _BENCH_KEYS:
+            if key not in bench:
+                errors.append(f"benchmarks[{i}] ({bench.get('name')!r}) missing {key!r}")
+        groups.add(bench.get("group"))
+        for key in ("mean_s", "min_s", "throughput_per_s"):
+            value = bench.get(key)
+            if isinstance(value, (int, float)) and value < 0:
+                errors.append(f"benchmarks[{i}].{key} is negative")
+    for group in REQUIRED_GROUPS:
+        if group not in groups:
+            errors.append(f"no benchmark covers required group {group!r}")
+    overhead = data.get("telemetry_overhead")
+    if not isinstance(overhead, Mapping):
+        errors.append("missing telemetry_overhead object")
+    else:
+        for key in _OVERHEAD_KEYS:
+            if key not in overhead:
+                errors.append(f"telemetry_overhead missing {key!r}")
+    return errors

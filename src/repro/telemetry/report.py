@@ -1,0 +1,63 @@
+"""Render a telemetry dump as a human-readable report.
+
+``repro-dmem telemetry report run.jsonl`` goes through :func:`render_report`:
+metrics first (counters and gauges as single values, histograms as their
+summary statistics, timeseries as row counts), then the top spans by total
+wall-clock time.  The same renderer works on the live in-process telemetry,
+which is what ``--telemetry`` without ``--trace-out`` prints after a run.
+"""
+
+from __future__ import annotations
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from .tracing import Tracer
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_metrics(registry: MetricsRegistry) -> list[str]:
+    """One line per instrument, sorted by metric name."""
+    lines: list[str] = []
+    for name in registry.names():
+        instrument = registry.get(name)
+        if isinstance(instrument, Counter):
+            lines.append(f"  {name} = {_fmt(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"  {name} = {_fmt(instrument.value)} (gauge)")
+        elif isinstance(instrument, Histogram):
+            s = instrument.summary()
+            lines.append(
+                f"  {name}: count={s['count']} mean={_fmt(s['mean'])} "
+                f"p50={_fmt(s['p50'])} p90={_fmt(s['p90'])} max={_fmt(s['max'])}"
+            )
+        elif isinstance(instrument, TimeSeries):
+            lines.append(f"  {name}: {len(instrument)} rows ({', '.join(instrument.columns)})")
+    return lines
+
+
+def render_spans(tracer: Tracer, top: int = 10) -> list[str]:
+    """The ``top`` span names by total duration, one line each."""
+    lines: list[str] = []
+    for name, stats in tracer.top_spans(top):
+        lines.append(
+            f"  {name}: count={stats['count']} total={stats['total_s']:.6f}s "
+            f"mean={stats['mean_s']:.6f}s max={stats['max_s']:.6f}s"
+        )
+    return lines
+
+
+def render_report(registry: MetricsRegistry, tracer: Tracer, top: int = 10) -> str:
+    """The full report: metrics section, then top spans."""
+    lines = ["telemetry report", "metrics:"]
+    metric_lines = render_metrics(registry)
+    lines.extend(metric_lines if metric_lines else ["  (none recorded)"])
+    lines.append(f"top spans (by total time, max {top}):")
+    span_lines = render_spans(tracer, top)
+    lines.extend(span_lines if span_lines else ["  (none recorded)"])
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Fixtures for the telemetry tests.
+
+The registry/tracer/enabled flag are process-wide, so every test that turns
+recording on must restore a clean disabled state afterwards — otherwise
+telemetry from one test leaks into the next (or into the fabric/scheduler
+suites, which assume instrumentation is a no-op).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture()
+def telemetry_on():
+    """Enable telemetry on a fresh registry/tracer; fully reset on teardown."""
+    telemetry.enable(reset=True)
+    try:
+        yield telemetry
+    finally:
+        telemetry.disable()
+        telemetry.registry().reset()
+        telemetry.tracer().reset()
+
+
+@pytest.fixture()
+def telemetry_off():
+    """Guarantee telemetry is disabled and empty for the duration of a test."""
+    telemetry.disable()
+    telemetry.registry().reset()
+    telemetry.tracer().reset()
+    try:
+        yield telemetry
+    finally:
+        telemetry.disable()
+        telemetry.registry().reset()
+        telemetry.tracer().reset()

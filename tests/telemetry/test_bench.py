@@ -1,0 +1,145 @@
+"""Tests for the bench JSON schema and the perf harness (regression gate)."""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.telemetry.benchjson import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
+    REQUIRED_GROUPS,
+    validate_bench,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A minimal document satisfying every schema rule.
+VALID_DOC = {
+    "schema": BENCH_SCHEMA,
+    "version": BENCH_SCHEMA_VERSION,
+    "created_unix": 1700000000.0,
+    "quick": True,
+    "python": "3.12.0",
+    "benchmarks": [
+        {
+            "name": f"{group}.case",
+            "group": group,
+            "config": {},
+            "repeats": 3,
+            "mean_s": 0.01,
+            "min_s": 0.009,
+            "throughput_per_s": 100.0,
+        }
+        for group in REQUIRED_GROUPS
+    ],
+    "telemetry_overhead": {
+        "noop_span_ns": 100.0,
+        "noop_counter_ns": 80.0,
+        "events": 1000,
+        "hook_calls": 1200,
+        "disabled_wall_s": 0.5,
+        "enabled_wall_s": 0.6,
+        "enabled_overhead_pct": 20.0,
+        "disabled_overhead_pct": 0.02,
+    },
+}
+
+
+class TestValidateBench:
+    def test_valid_document_passes(self):
+        assert validate_bench(copy.deepcopy(VALID_DOC)) == []
+
+    def test_wrong_schema_or_version(self):
+        doc = copy.deepcopy(VALID_DOC)
+        doc["schema"] = "other"
+        assert validate_bench(doc)
+        doc = copy.deepcopy(VALID_DOC)
+        doc["version"] = 99
+        assert validate_bench(doc)
+
+    def test_missing_group_reported(self):
+        doc = copy.deepcopy(VALID_DOC)
+        doc["benchmarks"] = [b for b in doc["benchmarks"] if b["group"] != "cluster_events"]
+        errors = validate_bench(doc)
+        assert any("cluster_events" in e for e in errors)
+
+    def test_missing_bench_key_reported(self):
+        doc = copy.deepcopy(VALID_DOC)
+        del doc["benchmarks"][0]["mean_s"]
+        assert validate_bench(doc)
+
+    def test_negative_timing_reported(self):
+        doc = copy.deepcopy(VALID_DOC)
+        doc["benchmarks"][0]["mean_s"] = -1.0
+        assert validate_bench(doc)
+
+    def test_incomplete_overhead_reported(self):
+        doc = copy.deepcopy(VALID_DOC)
+        del doc["telemetry_overhead"]["hook_calls"]
+        assert validate_bench(doc)
+
+    def test_non_dict_rejected(self):
+        assert validate_bench([])
+        assert validate_bench({"schema": BENCH_SCHEMA})
+
+
+class TestCommittedDocument:
+    def test_bench_cosim_json_at_repo_root_is_valid(self):
+        path = REPO_ROOT / "BENCH_cosim.json"
+        assert path.exists(), "BENCH_cosim.json must be committed at the repo root"
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert validate_bench(data) == []
+        overhead = data["telemetry_overhead"]
+        # The acceptance bound the instrumentation must keep honouring.
+        assert overhead["disabled_overhead_pct"] < 2.0
+
+
+class TestHarnessQuickRun:
+    def test_quick_run_emits_valid_document(self, tmp_path):
+        out = tmp_path / "bench_quick.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "bench_perf.py"),
+             "--quick", "--out", str(out)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr
+        with open(out, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        assert validate_bench(data) == []
+        assert data["quick"] is True
+        groups = {b["group"] for b in data["benchmarks"]}
+        assert groups == set(REQUIRED_GROUPS)
+
+    def test_check_mode_validates_existing_file(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(VALID_DOC))
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "bench_perf.py"),
+             "--check", str(path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "valid" in result.stdout
+
+    def test_check_mode_fails_on_invalid_file(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "bench_perf.py"),
+             "--check", str(path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 1

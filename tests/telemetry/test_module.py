@@ -1,0 +1,96 @@
+"""Tests for the module-level telemetry switch, JSONL export and report."""
+
+import io
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.registry import _NoopInstrument
+from repro.telemetry.report import render_metrics, render_report, render_spans
+from repro.telemetry.tracing import NOOP_SPAN
+
+
+class TestSwitch:
+    def test_disabled_by_default_hands_out_noops(self, telemetry_off):
+        assert not telemetry.enabled()
+        assert isinstance(telemetry.metrics().counter("x"), _NoopInstrument)
+        assert telemetry.trace_span("x") is NOOP_SPAN
+
+    def test_disabled_mode_records_nothing(self, telemetry_off):
+        telemetry.metrics().counter("c").inc()
+        telemetry.metrics().gauge("g").set(1)
+        telemetry.metrics().histogram("h").observe(1)
+        with telemetry.trace_span("span"):
+            pass
+        assert len(telemetry.registry()) == 0
+        assert telemetry.tracer().spans == []
+
+    def test_enabled_mode_records(self, telemetry_on):
+        assert telemetry.enabled()
+        telemetry.metrics().counter("c").inc(3)
+        with telemetry.trace_span("span", k=1):
+            pass
+        assert telemetry.registry().counter("c").value == 3
+        assert [s.name for s in telemetry.tracer().spans] == ["span"]
+
+    def test_enable_reset_clears_previous_run(self, telemetry_on):
+        telemetry.metrics().counter("old").inc()
+        telemetry.enable(reset=True)
+        assert len(telemetry.registry()) == 0
+        telemetry.metrics().counter("new").inc()
+        assert telemetry.registry().names() == ("new",)
+
+    def test_data_survives_disable(self, telemetry_on):
+        telemetry.metrics().counter("kept").inc()
+        telemetry.disable()
+        assert telemetry.registry().counter("kept").value == 1
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read_reproduces_everything(self, telemetry_on):
+        telemetry.metrics().counter("events").inc(12)
+        telemetry.metrics().histogram("iters").observe(5)
+        with telemetry.trace_span("outer"):
+            with telemetry.trace_span("inner"):
+                pass
+        buffer = io.StringIO()
+        lines = telemetry.write_jsonl(buffer)
+        assert lines == 1 + 2 + 2  # meta + two metrics + two spans
+
+        dump = telemetry.read_jsonl(io.StringIO(buffer.getvalue()))
+        assert dump.meta["schema"] == telemetry.TELEMETRY_SCHEMA
+        assert dump.meta["version"] == telemetry.TELEMETRY_SCHEMA_VERSION
+        assert dump.registry.counter("events").value == 12
+        assert [s.name for s in dump.tracer.spans] == ["outer", "inner"]
+        assert dump.tracer.spans[1].parent == 0
+
+    def test_read_rejects_foreign_schema(self):
+        stream = io.StringIO('{"kind": "meta", "schema": "something.else", "version": 1}\n')
+        with pytest.raises(ValueError):
+            telemetry.read_jsonl(stream)
+
+
+class TestReport:
+    def test_render_metrics_one_line_per_instrument(self, telemetry_on):
+        registry = telemetry.registry()
+        registry.counter("solver.calls").inc(4)
+        registry.gauge("queue.depth").set(2)
+        registry.histogram("iters").observe(8)
+        text = "\n".join(render_metrics(registry))
+        assert "solver.calls = 4" in text
+        assert "(gauge)" in text
+        assert "count=1" in text
+
+    def test_render_report_headline_numbers(self, telemetry_on):
+        telemetry.metrics().counter("scheduler.events").inc(99)
+        with telemetry.trace_span("scheduler.run"):
+            pass
+        report = render_report(telemetry.registry(), telemetry.tracer())
+        assert report.startswith("telemetry report")
+        assert "scheduler.events = 99" in report
+        assert "scheduler.run" in report
+
+    def test_empty_report_renders(self, telemetry_off):
+        report = render_report(telemetry.registry(), telemetry.tracer())
+        assert "(none recorded)" in report
+        assert render_spans(telemetry.tracer(), top=5) == []

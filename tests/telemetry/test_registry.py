@@ -1,0 +1,137 @@
+"""Tests for the metrics registry and its instruments."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.registry import Counter, Gauge, Histogram, NoopRegistry, TimeSeries
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_decrease(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_keeps_last_value(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        gauge.set(3.0)
+        assert gauge.value == 3.0
+
+    def test_histogram_summary_and_percentiles(self):
+        histogram = Histogram("h")
+        for value in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 10
+        assert summary["mean"] == pytest.approx(5.5)
+        assert summary["p50"] == 5
+        assert summary["p90"] == 9
+        assert summary["min"] == 1 and summary["max"] == 10
+
+    def test_empty_histogram_summary_is_nan(self):
+        summary = Histogram("h").summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["mean"])
+        assert math.isnan(Histogram("h").percentile(50))
+
+    def test_timeseries_append_validates_columns(self):
+        series = TimeSeries("t", ["a", "b"])
+        series.append(0.0, a=1, b=2)
+        with pytest.raises(ValueError):
+            series.append(1.0, a=1)
+        with pytest.raises(ValueError):
+            series.append(1.0, a=1, b=2, c=3)
+        assert len(series) == 1
+
+    def test_timeseries_trims_support_rollback(self):
+        series = TimeSeries("t", ["v"])
+        for t in [0.0, 1.0, 2.0, 3.0]:
+            series.append(t, v=t * 10)
+        series.drop_last()
+        assert series.times == [0.0, 1.0, 2.0]
+        series.trim_after(1.0)
+        assert series.series() == {"time": [0.0, 1.0], "v": [0.0, 10.0]}
+        series.trim_after(-1.0)
+        assert len(series) == 0
+        series.drop_last()  # no-op when empty
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+        assert registry.timeseries("t", ["a"]) is registry.timeseries("t", ["a"])
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.timeseries("x", ["a"])
+
+    def test_names_sorted_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.names() == ("a", "b")
+        assert "a" in registry and len(registry) == 2
+        registry.reset()
+        assert registry.names() == ()
+        assert registry.get("a") is None
+
+    def test_snapshot_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == {
+            "kind": "metric",
+            "type": "counter",
+            "name": "c",
+            "value": 2.0,
+        }
+
+    def test_jsonl_round_trip_is_exact(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(41)
+        registry.gauge("depth").set(3.5)
+        for value in [1, 2, 2, 8]:
+            registry.histogram("iters").observe(value)
+        series = registry.timeseries("timeline", ["v"])
+        series.append(0.0, v=1.0)
+        series.append(0.5, v=2.0)
+
+        buffer = io.StringIO()
+        lines = registry.write_jsonl(buffer)
+        assert lines == 4
+        records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        rebuilt = MetricsRegistry.from_records(records)
+        assert rebuilt.snapshot() == registry.snapshot()
+
+    def test_from_records_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_records(
+                [{"kind": "metric", "type": "mystery", "name": "m"}]
+            )
+
+
+class TestNoopRegistry:
+    def test_all_instruments_share_one_sink(self):
+        noop = NoopRegistry()
+        sink = noop.counter("a")
+        assert noop.gauge("b") is sink
+        assert noop.histogram("c") is sink
+        sink.inc()
+        sink.set(5)
+        sink.observe(1)
+        assert sink.value == 0.0 and sink.count == 0

@@ -1,0 +1,136 @@
+"""Tests for span tracing: deterministic nesting and ordering under a fake clock."""
+
+import io
+import json
+
+from repro.telemetry import Tracer
+from repro.telemetry.tracing import NOOP_SPAN, _NoopSpan
+
+
+class FakeClock:
+    """Monotonic fake clock advancing 1.0 per reading."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def make_tracer():
+    return Tracer(clock=FakeClock())
+
+
+class TestNesting:
+    def test_parent_child_links_and_depths(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        outer, inner, leaf, sibling = tracer.spans
+        assert [s.name for s in tracer.spans] == ["outer", "inner", "leaf", "sibling"]
+        assert outer.parent is None and outer.depth == 0
+        assert inner.parent == outer.index and inner.depth == 1
+        assert leaf.parent == inner.index and leaf.depth == 2
+        assert sibling.parent == outer.index and sibling.depth == 1
+
+    def test_indices_follow_opening_order(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.index for s in tracer.spans] == [0, 1, 2]
+
+    def test_durations_from_injected_clock(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):  # start=1
+            with tracer.span("inner"):  # start=2, end=3
+                pass
+        # inner: 3-2=1; outer: 4-1=3
+        inner = tracer.spans[1]
+        outer = tracer.spans[0]
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0
+
+    def test_open_span_has_zero_duration(self):
+        tracer = make_tracer()
+        active = tracer.span("open")
+        record = active.__enter__()
+        assert record.end is None and record.duration == 0.0
+
+    def test_attrs_recorded(self):
+        tracer = make_tracer()
+        with tracer.span("solve", nodes=4, rack="r0") as record:
+            pass
+        assert record.attrs == {"nodes": 4, "rack": "r0"}
+
+
+class TestAggregation:
+    def test_aggregate_counts_and_totals(self):
+        tracer = make_tracer()
+        for _ in range(3):
+            with tracer.span("step"):
+                pass
+        with tracer.span("run"):
+            pass
+        stats = tracer.aggregate()
+        assert stats["step"]["count"] == 3
+        assert stats["step"]["total_s"] == 3.0
+        assert stats["step"]["mean_s"] == 1.0
+        assert stats["run"]["count"] == 1
+
+    def test_open_spans_excluded_from_aggregate(self):
+        tracer = make_tracer()
+        tracer.span("open").__enter__()
+        assert tracer.aggregate() == {}
+
+    def test_top_spans_orders_by_total_then_name(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        # outer total 5 > a,b total 1 each; ties break alphabetically.
+        names = [name for name, _ in tracer.top_spans(3)]
+        assert names == ["outer", "a", "b"]
+
+    def test_reset_clears_everything(self):
+        tracer = make_tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.spans == [] and tracer.aggregate() == {}
+
+
+class TestJsonl:
+    def test_round_trip_preserves_tree_and_timing(self):
+        tracer = make_tracer()
+        with tracer.span("outer", rack=0):
+            with tracer.span("inner"):
+                pass
+        buffer = io.StringIO()
+        assert tracer.write_jsonl(buffer) == 2
+        records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        rebuilt = Tracer.from_records(records)
+        for original, copy in zip(tracer.spans, rebuilt.spans):
+            assert copy.as_record() == original.as_record()
+
+    def test_open_spans_not_exported(self):
+        tracer = make_tracer()
+        tracer.span("open").__enter__()
+        buffer = io.StringIO()
+        assert tracer.write_jsonl(buffer) == 0
+
+
+class TestNoopSpan:
+    def test_shared_singleton_context_manager(self):
+        assert isinstance(NOOP_SPAN, _NoopSpan)
+        with NOOP_SPAN as span:
+            assert span is NOOP_SPAN
