@@ -229,6 +229,9 @@ def figure_fabric_pool_timeline(
     n_ports: int = 1,
     stagger: float = 0.0,
     seed: int = 0,
+    n_racks: int = 1,
+    cluster_pool_bytes: Optional[int] = None,
+    solver: str = "vectorized",
 ) -> dict:
     """Pool-telemetry timeline of a rack co-simulation (fabric extension).
 
@@ -237,18 +240,88 @@ def figure_fabric_pool_timeline(
     queue depth and pool-port utilisation over time while ``n_tenants``
     instances of ``workload`` share one rack, plus each tenant's emergent
     background-interference timeline.
+
+    With ``n_racks > 1`` the same view is produced per rack from the
+    :class:`~repro.fabric.cluster.ClusterCoSimulator` (``n_tenants`` tenants
+    in *every* rack, ``rack<i>-`` name prefixes): ``timeline`` then maps rack
+    labels to series, and spilled tenants' spine contention shows up in their
+    background-LoI timelines because rack co-simulators fold external offsets
+    into the frozen backgrounds.
     """
-    from ..fabric import FabricTopology, MemoryPool, RackCoSimulator, uniform_tenants
+    from ..fabric import (
+        DynamicInterference,
+        FabricTopology,
+        MemoryPool,
+        RackCoSimulator,
+        uniform_tenants,
+    )
     from ..workloads.registry import get_model
 
     spec = get_model(workload).build(scale)
     tenants = uniform_tenants(
         spec, n_tenants, local_fraction=local_fraction, stagger=stagger
     )
+    if n_racks > 1:
+        from dataclasses import replace as _replace
+
+        from ..fabric import ClusterCoSimulator, ClusterFabric
+
+        fabric = ClusterFabric(
+            n_racks=n_racks, nodes_per_rack=n_tenants, n_ports=n_ports, solver=solver
+        )
+        simulator = ClusterCoSimulator(
+            fabric,
+            rack_pool_bytes=pool_capacity_bytes,
+            cluster_pool_bytes=cluster_pool_bytes,
+            seed=seed,
+        )
+        admissions = sorted(
+            (
+                (t.arrival, rack, _replace(t, name=f"rack{rack}-{t.name}"))
+                for rack in range(n_racks)
+                for t in tenants
+            ),
+            key=lambda item: item[0],
+        )
+        for arrival, rack, tenant in admissions:
+            simulator.admit(rack, tenant, time=arrival)
+        # Step to completion *without* withdrawing, so the per-tenant
+        # background histories are still attached to the rack simulators.
+        for _ in range(ClusterCoSimulator.MAX_EPOCHS):
+            states = [
+                state
+                for sim in simulator.rack_sims
+                for state in sim.tenant_states.values()
+            ]
+            if all(state.finished for state in states):
+                break
+            if not any(state.running for state in states):
+                break
+            simulator.step(simulator.horizon())
+        backgrounds = {}
+        for sim in simulator.rack_sims:
+            for name, state in sim.tenant_states.items():
+                if not state.background_times:
+                    continue
+                times, lois = DynamicInterference(
+                    state.background_times,
+                    state.background_bandwidths,
+                    link=sim.topology.link_of(state.node),
+                ).loi_timeline()
+                backgrounds[name] = {"time": list(times), "loi": list(lois)}
+        timelines = {
+            f"rack{rack}": sim.telemetry.series()
+            for rack, sim in enumerate(simulator.rack_sims)
+        }
+        return {
+            "timeline": timelines,
+            "tenant_background_loi": backgrounds,
+            "summary": simulator.run_to_completion(),
+        }
     pool = (
         MemoryPool(pool_capacity_bytes) if pool_capacity_bytes is not None else None
     )
-    topology = FabricTopology(n_nodes=n_tenants, n_ports=n_ports)
+    topology = FabricTopology(n_nodes=n_tenants, n_ports=n_ports, solver=solver)
     result = RackCoSimulator(tenants, pool=pool, topology=topology, seed=seed).run()
     backgrounds = {}
     for outcome in result.finished_tenants:

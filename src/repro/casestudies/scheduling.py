@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..fabric.solver import SOLVER_VECTORIZED
 from ..profiler.level3 import Level3Profiler, SensitivityCurve
 from ..scheduler.cluster import Cluster
 from ..scheduler.job import JobProfile
@@ -231,6 +232,10 @@ class CoupledSchedulingStudy:
     not from different inputs.
     """
 
+    #: Policies that score racks through the live progress model and must be
+    #: handed the same instance the simulator steps.
+    COUPLED_POLICIES = ("fabric-coupled", "cluster-fabric")
+
     def __init__(
         self,
         n_racks: int = 2,
@@ -242,6 +247,8 @@ class CoupledSchedulingStudy:
         epoch_seconds: Optional[float] = None,
         scale: float = 1.0,
         seed: int = 0,
+        solver: str = SOLVER_VECTORIZED,
+        cluster_pool_gb: float = 0.0,
     ) -> None:
         self.n_racks = n_racks
         self.nodes_per_rack = nodes_per_rack
@@ -252,6 +259,8 @@ class CoupledSchedulingStudy:
         self.epoch_seconds = epoch_seconds
         self.scale = scale
         self.seed = seed
+        self.solver = solver
+        self.cluster_pool_gb = cluster_pool_gb
 
     def _cluster(self) -> Cluster:
         return Cluster.build(
@@ -314,12 +323,12 @@ class CoupledSchedulingStudy:
             ports_per_rack=self.ports_per_rack,
             epoch_seconds=self.epoch_seconds,
             seed=self.seed,
+            solver=self.solver,
+            cluster_pool_gb=self.cluster_pool_gb,
         )
-        # The fabric-coupled policy scores racks through the live progress
-        # model; it must be handed the same instance the simulator steps.
         coupled_policy = (
             make_policy(self.policy, progress=progress)
-            if self.policy == "fabric-coupled"
+            if self.policy in self.COUPLED_POLICIES
             else make_policy(self.policy)
         )
         coupled_outcome = ClusterSimulator(

@@ -203,6 +203,8 @@ def cmd_scheduling(args: argparse.Namespace) -> int:
             epoch_seconds=args.epoch_seconds,
             scale=args.scale,
             seed=args.seed,
+            solver=args.solver,
+            cluster_pool_gb=args.cluster_pool_gb,
         )
         result = study.run(
             specs=specs,
@@ -220,6 +222,8 @@ def cmd_scheduling(args: argparse.Namespace) -> int:
 
 def cmd_fabric(args: argparse.Namespace) -> int:
     """Rack-scale co-simulation: tenants sharing one memory pool (fabric extension)."""
+    from dataclasses import replace
+
     from .config.units import GiB
     from .fabric import FabricTopology, MemoryPool, RackCoSimulator, uniform_tenants
 
@@ -227,11 +231,48 @@ def cmd_fabric(args: argparse.Namespace) -> int:
     tenants = uniform_tenants(
         spec, args.tenants, local_fraction=args.local_fraction, stagger=args.stagger
     )
+    if args.cluster:
+        from .fabric import ClusterCoSimulator, ClusterFabric
+
+        fabric = ClusterFabric(
+            n_racks=args.cluster,
+            nodes_per_rack=args.tenants,
+            n_ports=args.ports,
+            port_capacity_scale=args.port_capacity_scale,
+            uplink_capacity_scale=args.uplink_scale,
+            solver=args.solver,
+        )
+        simulator = ClusterCoSimulator(
+            fabric,
+            rack_pool_bytes=(
+                int(args.pool_gb * GiB) if args.pool_gb is not None else None
+            ),
+            cluster_pool_bytes=(
+                int(args.cluster_pool_gb * GiB) if args.cluster_pool_gb else None
+            ),
+            epoch_seconds=args.epoch_seconds,
+            seed=args.seed,
+        )
+        # Admissions must happen in arrival order (an admission at time t
+        # steps the whole cluster to t first).
+        admissions = sorted(
+            (
+                (tenant.arrival, rack, replace(tenant, name=f"rack{rack}-{tenant.name}"))
+                for rack in range(args.cluster)
+                for tenant in tenants
+            ),
+            key=lambda item: item[0],
+        )
+        for arrival, rack, tenant in admissions:
+            simulator.admit(rack, tenant, time=arrival)
+        _emit(simulator.run_to_completion(), args.json)
+        return 0
     pool = MemoryPool(int(args.pool_gb * GiB)) if args.pool_gb is not None else None
     topology = FabricTopology(
         n_nodes=args.tenants,
         n_ports=args.ports,
         port_capacity_scale=args.port_capacity_scale,
+        solver=args.solver,
     )
     simulator = RackCoSimulator(
         tenants,
@@ -344,6 +385,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure Level-3 sensitivity curves so the static model prices "
         "co-location with the paper's full submission-time hints",
     )
+    p_sched.add_argument(
+        "--solver",
+        choices=("vectorized", "scalar"),
+        default="vectorized",
+        help="contention solver of the coupled fabric (vectorized NumPy or "
+        "the scalar reference path)",
+    )
+    p_sched.add_argument(
+        "--cluster-pool-gb",
+        type=float,
+        default=0.0,
+        help="cluster-level spill pool for the coupled fabric, GiB "
+        "(0 disables spilling)",
+    )
     p_sched.set_defaults(func=cmd_scheduling)
 
     p_fabric = sub.add_parser(
@@ -379,6 +434,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fabric.add_argument(
         "--timeline", action="store_true", help="include the pool telemetry timeline"
+    )
+    p_fabric.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N_RACKS",
+        help="co-simulate N_RACKS racks (each with --tenants tenants) through "
+        "the cluster fabric instead of a single rack",
+    )
+    p_fabric.add_argument(
+        "--solver",
+        choices=("vectorized", "scalar"),
+        default="vectorized",
+        help="contention solver: batched NumPy fixed point or the scalar "
+        "reference path",
+    )
+    p_fabric.add_argument(
+        "--cluster-pool-gb",
+        type=float,
+        default=0.0,
+        help="cluster-level spill pool capacity in GiB (0 disables spilling; "
+        "only with --cluster)",
+    )
+    p_fabric.add_argument(
+        "--uplink-scale",
+        type=float,
+        default=4.0,
+        help="rack uplink capacity as a multiple of one node link "
+        "(only with --cluster)",
     )
     p_fabric.set_defaults(func=cmd_fabric)
 

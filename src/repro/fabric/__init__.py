@@ -13,8 +13,21 @@ step between external events, checkpoint and roll epochs back — which is how
 :mod:`repro.scheduler.progress` puts the fabric in the scheduling loop.  The
 units, epoch semantics and tenant↔job mapping of that coupling are documented
 in :mod:`repro.fabric.cosim`.
+
+Above the rack, :mod:`repro.fabric.cluster` composes racks into a
+:class:`ClusterFabric` (uplinks + shared spine + hierarchical pools) stepped
+by a :class:`ClusterCoSimulator`; the batched NumPy contention solver and the
+demand-keyed :class:`ContentionCache` that make it scale live in
+:mod:`repro.fabric.solver`.
 """
 
+from .cluster import (
+    ClusterCheckpoint,
+    ClusterCoSimulator,
+    ClusterFabric,
+    ClusterSolve,
+    ClusterTenantOutcome,
+)
 from .cosim import (
     EpochCheckpoint,
     RackCoSimResult,
@@ -34,11 +47,36 @@ from .pool import (
     MemoryPool,
     PoolSample,
 )
+from .solver import (
+    DEFAULT_CACHE_QUANTUM,
+    SOLVER_SCALAR,
+    SOLVER_VECTORIZED,
+    SOLVERS,
+    ContentionCache,
+    FixedPointResult,
+    quantize_demands,
+    solve_fixed_point,
+    validate_solver,
+)
 from .topology import FabricConvergenceWarning, FabricTopology, SolveDiagnostics
 
 __all__ = [
     "FabricConvergenceWarning",
     "SolveDiagnostics",
+    "ClusterCheckpoint",
+    "ClusterCoSimulator",
+    "ClusterFabric",
+    "ClusterSolve",
+    "ClusterTenantOutcome",
+    "ContentionCache",
+    "FixedPointResult",
+    "DEFAULT_CACHE_QUANTUM",
+    "SOLVERS",
+    "SOLVER_SCALAR",
+    "SOLVER_VECTORIZED",
+    "quantize_demands",
+    "solve_fixed_point",
+    "validate_solver",
     "EpochCheckpoint",
     "RackCoSimResult",
     "RackCoSimulator",

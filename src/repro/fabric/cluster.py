@@ -1,0 +1,823 @@
+"""Cluster-scale fabric: racks composed over uplinks, a spine, and pooled spill.
+
+This is ROADMAP item 1's datacenter layer on top of the single-rack
+:mod:`repro.fabric` machinery:
+
+* :class:`ClusterFabric` composes ``n_racks`` :class:`~repro.fabric.topology.
+  FabricTopology` racks with per-rack **uplinks** and one shared **spine**
+  (both ordinary :class:`~repro.interconnect.link.RemoteLink` models, so the
+  capacity/overhead/queueing math is the same at every level of the
+  hierarchy), and batches whole-cluster contention resolution through the
+  vectorized kernel in :mod:`repro.fabric.solver` — one NumPy solve for all
+  racks instead of ``n_racks`` Python loops.
+* :class:`ClusterCoSimulator` steps every rack's incremental
+  :class:`~repro.fabric.cosim.RackCoSimulator` in **one epoch loop** with
+  hierarchical pools: a tenant that does not fit its rack's pool can spill
+  into the cluster-level pool, and spilled tenants' pool traffic rides their
+  rack's uplink onto the spine — cross-rack spine contention feeds back into
+  their progress rates as per-node background offsets
+  (:meth:`~repro.fabric.cosim.RackCoSimulator.set_background_offset`).
+
+Scaling comes from three mechanisms, all testable against their slow
+reference paths: the batched vectorized solver (``solver="scalar"`` falls
+back to per-rack reference solves), the racks' dirty-epoch skip (a rack whose
+demand vector is unchanged is not re-solved at rollover), and per-rack
+contention caches (:meth:`ClusterFabric.enable_solver_cache`).
+
+Spine coupling model
+--------------------
+
+Spilled tenants contend twice outside their rack: with same-rack spilled
+tenants on the rack uplink, and with every other rack's spilled traffic on
+the spine.  Both are expressed as an *equivalent background on the tenant's
+pool port* by scaling foreign traffic with the ratio of port data capacity to
+uplink/spine data capacity — i.e. 50% spine utilisation from other racks is
+felt like 50%-utilisation-equivalent background on the tenant's own port.
+The offsets refresh at every cluster epoch boundary from the racks' live
+demands, so the inter-rack feedback loop closes at the same epoch granularity
+as the intra-rack one.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..config.errors import FabricError
+from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
+from ..interconnect.link import RemoteLink
+from ..interconnect.queueing import QueueingModel
+from ..telemetry import metrics, trace_span
+from .cosim import EpochCheckpoint, RackCoSimulator, TenantSpec
+from .pool import LEASE_GRANTED, LEASE_QUEUED, LEASE_REJECTED, MemoryPool
+from .solver import (
+    DEFAULT_CACHE_QUANTUM,
+    SOLVER_SCALAR,
+    SOLVER_VECTORIZED,
+    solve_fixed_point,
+    validate_solver,
+)
+from .topology import FabricConvergenceWarning, FabricTopology, SolveDiagnostics
+
+
+@dataclass(frozen=True)
+class ClusterSolve:
+    """One whole-cluster contention resolution.
+
+    ``racks[i]`` is rack ``i``'s :class:`~repro.fabric.topology.
+    SolveDiagnostics`.  The cluster-level fields aggregate: ``iterations`` is
+    the largest per-rack iteration count (scalar path) or the shared global
+    count (vectorized batch), ``converged`` requires every rack to have
+    converged, ``residual`` is the largest per-rack residual.
+    """
+
+    racks: tuple[SolveDiagnostics, ...]
+    iterations: int
+    converged: bool
+    residual: float
+
+    @property
+    def delivered(self) -> tuple[dict[int, float], ...]:
+        """Per-rack delivered-bandwidth maps (rack-local node -> bytes/s)."""
+        return tuple(diag.delivered for diag in self.racks)
+
+
+class ClusterFabric:
+    """``n_racks`` rack fabrics composed over uplinks and one shared spine.
+
+    Parameters
+    ----------
+    n_racks / nodes_per_rack / n_ports:
+        Cluster shape: identical racks, each a
+        :class:`~repro.fabric.topology.FabricTopology` with
+        ``nodes_per_rack`` nodes over ``n_ports`` pool ports.
+    testbed / port_capacity_scale / queueing:
+        Forwarded to every rack topology (see there).
+    uplink_capacity_scale:
+        Multiplier (>= 1) on the testbed's peak link traffic for each rack's
+        uplink into the spine — an uplink typically aggregates several node
+        links.
+    spine_capacity_scale:
+        Multiplier for the shared spine; the default provisions it at half
+        the combined uplink capacity (a 2:1 oversubscribed fat tree).
+    solver:
+        Default solver for :meth:`resolve_all` and every rack topology
+        (``"vectorized"`` or ``"scalar"``).
+    """
+
+    def __init__(
+        self,
+        n_racks: int,
+        nodes_per_rack: int,
+        n_ports: int = 1,
+        testbed: TestbedConfig = SKYLAKE_EMULATION,
+        port_capacity_scale: float = 1.0,
+        uplink_capacity_scale: float = 4.0,
+        spine_capacity_scale: Optional[float] = None,
+        queueing: QueueingModel | None = None,
+        solver: str = SOLVER_VECTORIZED,
+    ) -> None:
+        if n_racks <= 0:
+            raise FabricError("a cluster needs at least one rack")
+        if uplink_capacity_scale < 1.0:
+            raise FabricError("uplink_capacity_scale must be >= 1")
+        if spine_capacity_scale is None:
+            spine_capacity_scale = max(uplink_capacity_scale * n_racks / 2.0, 1.0)
+        if spine_capacity_scale < 1.0:
+            raise FabricError("spine_capacity_scale must be >= 1")
+        self.n_racks = int(n_racks)
+        self.nodes_per_rack = int(nodes_per_rack)
+        self.n_ports = int(n_ports)
+        self.testbed = testbed
+        self.solver = validate_solver(solver)
+        self.racks: tuple[FabricTopology, ...] = tuple(
+            FabricTopology(
+                n_nodes=nodes_per_rack,
+                n_ports=n_ports,
+                testbed=testbed,
+                port_capacity_scale=port_capacity_scale,
+                queueing=queueing,
+                solver=solver,
+            )
+            for _ in range(self.n_racks)
+        )
+        uplink_testbed = replace(
+            testbed, link_peak_traffic=testbed.link_peak_traffic * uplink_capacity_scale
+        )
+        #: One uplink per rack, aggregating its spilled tenants' pool traffic.
+        self.uplinks: tuple[RemoteLink, ...] = tuple(
+            RemoteLink(uplink_testbed, queueing) for _ in range(self.n_racks)
+        )
+        #: The shared spine all uplinks feed into.
+        self.spine = RemoteLink(
+            replace(
+                testbed,
+                link_peak_traffic=testbed.link_peak_traffic * spine_capacity_scale,
+            ),
+            queueing,
+        )
+
+    @property
+    def total_nodes(self) -> int:
+        """Compute nodes across all racks."""
+        return self.n_racks * self.nodes_per_rack
+
+    def rack(self, index: int) -> FabricTopology:
+        """Rack ``index``'s topology (validating the index)."""
+        if not 0 <= index < self.n_racks:
+            raise FabricError(
+                f"rack {index} is not part of this {self.n_racks}-rack cluster"
+            )
+        return self.racks[index]
+
+    def enable_solver_cache(
+        self, maxsize: int = 4096, quantum: float = DEFAULT_CACHE_QUANTUM
+    ) -> None:
+        """Attach a contention cache to every rack topology (see
+        :meth:`~repro.fabric.topology.FabricTopology.enable_solver_cache`)."""
+        for rack in self.racks:
+            rack.enable_solver_cache(maxsize=maxsize, quantum=quantum)
+
+    # -- whole-cluster demand resolution ---------------------------------------------
+
+    def resolve_all(
+        self,
+        demands: Sequence[Mapping[int, float]],
+        iterations: int = 64,
+        damping: Optional[float] = None,
+        tolerance: float = 1e6,
+        solver: Optional[str] = None,
+    ) -> ClusterSolve:
+        """Resolve every rack's port contention in one call.
+
+        ``demands[i]`` is rack ``i``'s demand map (rack-local node ->
+        offered bytes/s).  Racks are independent sub-problems (each node
+        contends only on its own rack's port), so the vectorized path
+        flattens all racks into one array and runs a single batched
+        fixed-point solve — this is the cluster-scale hot path the
+        ``solver_vectorized`` benchmark group times.  ``solver="scalar"``
+        instead resolves each rack through the reference implementation,
+        giving the differential suite a slow ground truth.
+
+        Per-rack :class:`~repro.fabric.topology.SolveDiagnostics` are
+        returned either way.  Batched solves iterate until *every* rack
+        converges, so per-rack iteration counts equal the global count and
+        already-converged racks keep contracting toward the same fixed point
+        (their values stay within solver tolerance of an early-stopped
+        per-rack solve).
+        """
+        if len(demands) != self.n_racks:
+            raise FabricError(
+                f"expected {self.n_racks} demand maps, got {len(demands)}"
+            )
+        solver = validate_solver(solver if solver is not None else self.solver)
+        if solver == SOLVER_SCALAR:
+            diags = tuple(
+                rack.resolve_detailed(
+                    rack_demands, iterations, damping, tolerance, solver=SOLVER_SCALAR
+                )
+                for rack, rack_demands in zip(self.racks, demands)
+            )
+            return ClusterSolve(
+                racks=diags,
+                iterations=max(d.iterations for d in diags),
+                converged=all(d.converged for d in diags),
+                residual=max(d.residual for d in diags),
+            )
+        return self._resolve_all_vectorized(demands, iterations, damping, tolerance)
+
+    def _resolve_all_vectorized(
+        self,
+        demands: Sequence[Mapping[int, float]],
+        iterations: int,
+        damping: Optional[float],
+        tolerance: float,
+    ) -> ClusterSolve:
+        """One batched NumPy solve across all racks' demand maps."""
+        if damping is not None and not 0.0 < damping <= 1.0:
+            raise FabricError("damping must be in (0, 1]")
+        nodes_per_rack: list[list[int]] = []
+        offered: list[float] = []
+        port_index: list[int] = []
+        capacity: list[float] = []
+        node_bandwidth: list[float] = []
+        damping_arr: list[float] = []
+        rack_dampings: list[float] = []
+        slices: list[tuple[int, int]] = []
+        port_offset = 0
+        for rack, rack_demands in zip(self.racks, demands):
+            nodes = list(rack_demands)
+            rack_damping = damping
+            if rack_damping is None:
+                max_sharing = max(
+                    (
+                        sum(
+                            1
+                            for other in rack_demands
+                            if rack.port_of(other) == rack.port_of(node)
+                        )
+                        for node in rack_demands
+                    ),
+                    default=1,
+                )
+                rack_damping = 1.0 / max(max_sharing, 1)
+            start = len(offered)
+            for node in nodes:
+                port_index.append(port_offset + rack.port_of(node))
+                offered.append(rack._node_demand(node, rack_demands))
+                capacity.append(rack.ports[0].data_capacity)
+                node_bandwidth.append(rack.ports[0].node_bandwidth)
+                damping_arr.append(rack_damping)
+            nodes_per_rack.append(nodes)
+            rack_dampings.append(rack_damping)
+            slices.append((start, len(offered)))
+            port_offset += rack.n_ports
+        registry = metrics()
+        registry.counter("fabric.cluster.solve.calls").inc()
+        with trace_span(
+            "fabric.cluster.solve", racks=self.n_racks, nodes=len(offered)
+        ):
+            result = solve_fixed_point(
+                np.asarray(offered),
+                np.asarray(port_index, dtype=np.intp),
+                capacity=np.asarray(capacity),
+                node_bandwidth=np.asarray(node_bandwidth),
+                min_share=RemoteLink.MIN_SHARE,
+                damping=np.asarray(damping_arr),
+                iterations=iterations,
+                tolerance=tolerance,
+            )
+        registry.histogram("fabric.cluster.solve.iterations").observe(
+            result.iterations
+        )
+        diags = []
+        nonconverged = 0
+        for (start, stop), nodes, rack_damping in zip(
+            slices, nodes_per_rack, rack_dampings
+        ):
+            rack_delta = result.delta[start:stop]
+            rack_residual = float(rack_delta.max()) if stop > start else 0.0
+            rack_converged = result.converged or rack_residual < tolerance
+            if not rack_converged:
+                nonconverged += 1
+            diags.append(
+                SolveDiagnostics(
+                    delivered={
+                        n: float(v)
+                        for n, v in zip(nodes, result.delivered[start:stop])
+                    },
+                    iterations=result.iterations,
+                    converged=rack_converged,
+                    residual=rack_residual,
+                    damping=rack_damping,
+                )
+            )
+        if nonconverged:
+            registry.counter("fabric.solve.nonconverged").inc(nonconverged)
+            warnings.warn(
+                f"cluster contention solve did not converge on {nonconverged} "
+                f"rack(s) within {result.iterations} iterations (worst residual "
+                f"{result.residual:.3g} bytes/s, tolerance {tolerance:.3g}); "
+                f"results reflect the last iterate",
+                FabricConvergenceWarning,
+                stacklevel=3,
+            )
+        return ClusterSolve(
+            racks=tuple(diags),
+            iterations=result.iterations,
+            converged=result.converged,
+            residual=result.residual,
+        )
+
+    def describe(self) -> dict:
+        """Summary of the cluster wiring."""
+        return {
+            "n_racks": self.n_racks,
+            "nodes_per_rack": self.nodes_per_rack,
+            "n_ports": self.n_ports,
+            "solver": self.solver,
+            "uplink_data_capacity_gbs": self.uplinks[0].data_capacity / 1e9,
+            "spine_data_capacity_gbs": self.spine.data_capacity / 1e9,
+            "rack": self.racks[0].describe(),
+        }
+
+
+@dataclass(frozen=True)
+class ClusterCheckpoint:
+    """Snapshot of a :class:`ClusterCoSimulator`'s epoch state.
+
+    Composes one :class:`~repro.fabric.cosim.EpochCheckpoint` per rack plus
+    the cluster's own clock and intra-epoch progress.  Subject to the same
+    contract as rack checkpoints: valid only while the (cluster-wide) tenant
+    mix — and therefore the spill set — is unchanged.
+    """
+
+    clock: float
+    epoch_elapsed: float
+    racks: tuple[EpochCheckpoint, ...]
+
+
+@dataclass(frozen=True)
+class ClusterTenantOutcome:
+    """Final statistics of one tenant of a closed-loop cluster run."""
+
+    name: str
+    rack: int
+    node: int
+    spilled: bool
+    lease_state: str
+    start_time: Optional[float]
+    finish_time: Optional[float]
+    baseline_runtime: float
+    wait_time: float = 0.0
+
+    @property
+    def runtime(self) -> float:
+        if self.start_time is None or self.finish_time is None:
+            return 0.0
+        return self.finish_time - self.start_time
+
+    @property
+    def slowdown(self) -> float:
+        if self.runtime <= 0 or self.baseline_runtime <= 0:
+            return 1.0
+        return self.runtime / self.baseline_runtime
+
+
+class ClusterCoSimulator:
+    """All racks' co-simulations stepped in one cluster epoch loop.
+
+    Parameters
+    ----------
+    fabric:
+        The cluster wiring (rack topologies, uplinks, spine).
+    rack_pool_bytes:
+        Capacity of each rack's memory pool — one int for homogeneous racks
+        or a per-rack sequence.  None sizes every rack pool generously
+        (effectively unbounded, for callers doing their own admission).
+    cluster_pool_bytes:
+        Capacity of the cluster-level spill pool; 0/None disables spilling
+        (tenants that do not fit their rack pool queue there, exactly like a
+        standalone rack).
+    epoch_seconds:
+        Cluster epoch (inter-rack recoupling period) and every rack's
+        co-simulation epoch.  None derives it from the first admitted
+        tenant's baseline runtime and propagates the same value to all
+        racks, keeping their rollovers aligned.
+    seed:
+        Engine seed shared by all racks; per-tenant baseline profiles are
+        cached once across the whole cluster, so admitting the same workload
+        to many racks costs one engine run, not ``n_racks``.
+    """
+
+    MAX_EPOCHS = 200_000
+
+    def __init__(
+        self,
+        fabric: ClusterFabric,
+        rack_pool_bytes: int | Sequence[int] | None = None,
+        cluster_pool_bytes: Optional[int] = None,
+        epoch_seconds: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        self.fabric = fabric
+        if rack_pool_bytes is None:
+            capacities = [1 << 62] * fabric.n_racks
+        elif isinstance(rack_pool_bytes, int):
+            capacities = [rack_pool_bytes] * fabric.n_racks
+        else:
+            capacities = [int(c) for c in rack_pool_bytes]
+            if len(capacities) != fabric.n_racks:
+                raise FabricError(
+                    f"expected {fabric.n_racks} rack pool capacities, "
+                    f"got {len(capacities)}"
+                )
+        if epoch_seconds is not None and epoch_seconds <= 0:
+            raise FabricError("epoch_seconds must be positive")
+        self.rack_sims: tuple[RackCoSimulator, ...] = tuple(
+            RackCoSimulator.incremental(
+                n_nodes=fabric.nodes_per_rack,
+                pool=MemoryPool(capacities[i], name=f"rack-{i}"),
+                topology=fabric.racks[i],
+                testbed=fabric.testbed,
+                epoch_seconds=epoch_seconds,
+                seed=seed,
+            )
+            for i in range(fabric.n_racks)
+        )
+        # One baseline-profile cache for the whole cluster: identical
+        # (workload, local_fraction) tenants cost one engine run regardless
+        # of which rack they land on.
+        shared_cache: dict = {}
+        for sim in self.rack_sims:
+            sim._inc_cache = shared_cache
+        self.cluster_pool = (
+            MemoryPool(cluster_pool_bytes, name="cluster-pool")
+            if cluster_pool_bytes
+            else None
+        )
+        self.seed = int(seed)
+        self._clock = 0.0
+        self._epoch: Optional[float] = epoch_seconds
+        self._epoch_elapsed = 0.0
+        self._tenant_rack: dict[str, int] = {}
+        self._spilled: dict[str, object] = {}  # tenant name -> cluster-pool Lease
+        self._offset_nodes: set[tuple[int, int]] = set()
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """Simulated cluster time, seconds."""
+        return self._clock
+
+    @property
+    def epoch_seconds(self) -> Optional[float]:
+        """The cluster epoch length (None until the first tenant derives it)."""
+        return self._epoch
+
+    def rack_sim(self, rack: int) -> RackCoSimulator:
+        """Rack ``rack``'s incremental co-simulator."""
+        if not 0 <= rack < self.fabric.n_racks:
+            raise FabricError(
+                f"rack {rack} is not part of this {self.fabric.n_racks}-rack cluster"
+            )
+        return self.rack_sims[rack]
+
+    def rack_of(self, name: str) -> int:
+        """The rack an admitted tenant lives in."""
+        try:
+            return self._tenant_rack[name]
+        except KeyError as exc:
+            raise FabricError(f"no admitted tenant named {name!r}") from exc
+
+    def is_spilled(self, name: str) -> bool:
+        """Whether a tenant's pool lease lives in the cluster-level pool."""
+        return name in self._spilled
+
+    @property
+    def tenant_names(self) -> tuple[str, ...]:
+        """Names of all currently admitted tenants, in admission order."""
+        return tuple(self._tenant_rack)
+
+    # -- tenant lifecycle -------------------------------------------------------------
+
+    def admit(
+        self,
+        rack: int,
+        spec: TenantSpec,
+        node: Optional[int] = None,
+        time: Optional[float] = None,
+    ):
+        """Admit a tenant into rack ``rack``, spilling to the cluster pool
+        when the rack pool cannot grant the lease immediately.
+
+        A spilled tenant holds its capacity lease in the cluster pool and is
+        admitted into the rack with a zero-byte rack lease (the rack pool's
+        accounting is untouched); its pool traffic rides the rack uplink and
+        the spine from the next recoupling on.  Returns the lease that holds
+        the tenant's actual capacity (rack- or cluster-pool).
+        """
+        if spec.name in self._tenant_rack:
+            raise FabricError(f"tenant {spec.name!r} is already admitted")
+        sim = self.rack_sim(rack)
+        if time is not None and time > self._clock:
+            self.step(time - self._clock)
+        spill_lease = None
+        rack_spec = spec
+        if (
+            self.cluster_pool is not None
+            and spec.lease_bytes > 0
+            and (spec.lease_bytes > sim.pool.free_bytes or sim.pool.queue_depth > 0)
+            and spec.lease_bytes <= self.cluster_pool.free_bytes
+            and self.cluster_pool.queue_depth == 0
+        ):
+            spill_lease = self.cluster_pool.request(
+                spec.name, spec.lease_bytes, time=self._clock
+            )
+            rack_spec = replace(spec, pool_bytes=0)
+            metrics().counter("fabric.cluster.spills").inc()
+        rack_lease = sim.admit(rack_spec, node=node)
+        self._tenant_rack[spec.name] = rack
+        if spill_lease is not None:
+            self._spilled[spec.name] = spill_lease
+        if self._epoch is None and sim._inc_epoch is not None:
+            self._epoch = sim._inc_epoch
+        if self._epoch is not None:
+            for other in self.rack_sims:
+                if other._inc_epoch is None:
+                    other._inc_epoch = self._epoch
+        self._recouple()
+        return spill_lease if spill_lease is not None else rack_lease
+
+    def withdraw(self, name: str, time: Optional[float] = None) -> None:
+        """Remove a tenant, returning its rack- or cluster-pool lease."""
+        rack = self.rack_of(name)
+        sim = self.rack_sims[rack]
+        if time is not None and time > self._clock:
+            self.step(time - self._clock)
+        state = sim.tenant_states.get(name)
+        sim.withdraw(name)
+        del self._tenant_rack[name]
+        lease = self._spilled.pop(name, None)
+        if lease is not None and lease.state in (LEASE_GRANTED, LEASE_QUEUED):
+            self.cluster_pool.release(lease, time=self._clock)
+        if state is not None and (rack, state.node) in self._offset_nodes:
+            sim.set_background_offset(state.node, 0.0)
+            self._offset_nodes.discard((rack, state.node))
+        self._recouple()
+
+    # -- epoch loop -------------------------------------------------------------------
+
+    def step(self, dt: float) -> dict[str, float]:
+        """Advance all racks ``dt`` wall-seconds in one cluster epoch loop.
+
+        Racks step in lockstep chunks bounded by the cluster epoch; at every
+        cluster epoch boundary the inter-rack coupling (uplink/spine
+        backgrounds of spilled tenants) is refreshed from the racks' live
+        demands.  Returns baseline-seconds completed per tenant, merged
+        across racks.
+        """
+        if dt < 0:
+            raise FabricError("cannot step the cluster backwards")
+        registry = metrics()
+        registry.counter("fabric.cluster.step_calls").inc()
+        done: dict[str, float] = {name: 0.0 for name in self._tenant_rack}
+        remaining = float(dt)
+        with trace_span("fabric.cluster.step", racks=self.fabric.n_racks):
+            while remaining > 1e-15:
+                if self._epoch is None:
+                    # Nothing admitted anywhere: time passes, no work happens.
+                    for sim in self.rack_sims:
+                        sim.step(remaining)
+                    self._clock += remaining
+                    return done
+                chunk = min(
+                    remaining, max(self._epoch - self._epoch_elapsed, 0.0)
+                )
+                if chunk <= 0:
+                    self._rollover_cluster_epoch()
+                    continue
+                for sim in self.rack_sims:
+                    for name, amount in sim.step(chunk).items():
+                        if amount:
+                            done[name] = done.get(name, 0.0) + amount
+                self._clock += chunk
+                self._epoch_elapsed += chunk
+                remaining -= chunk
+                if self._epoch_elapsed >= self._epoch - 1e-12:
+                    self._rollover_cluster_epoch()
+        return done
+
+    def _rollover_cluster_epoch(self) -> None:
+        metrics().counter("fabric.cluster.epochs").inc()
+        self._epoch_elapsed = 0.0
+        self._recouple()
+
+    def _recouple(self) -> None:
+        """Refresh spilled tenants' uplink/spine background offsets.
+
+        See the module docstring for the coupling model.  Idempotent given
+        unchanged rack demands, so calling it on admission, withdrawal and
+        every cluster epoch boundary keeps the offsets exact without
+        disturbing the racks' dirty-epoch tracking more than necessary.
+        """
+        metrics().counter("fabric.cluster.recouples").inc()
+        uplink_traffic = [0.0] * self.fabric.n_racks
+        spilled_nodes: list[tuple[int, int, float]] = []
+        for name in self._spilled:
+            rack = self._tenant_rack[name]
+            state = self.rack_sims[rack].tenant_states.get(name)
+            if state is None or not state.running:
+                continue
+            demand = state.current_offered_bandwidth()
+            uplink_traffic[rack] += demand
+            spilled_nodes.append((rack, state.node, demand))
+        total = sum(uplink_traffic)
+        metrics().gauge("fabric.cluster.spine_utilization").set(
+            self.fabric.spine.utilization(total)
+        )
+        live: set[tuple[int, int]] = set()
+        for rack, node, demand in spilled_nodes:
+            same_rack = uplink_traffic[rack] - demand
+            cross_rack = total - uplink_traffic[rack]
+            port_capacity = self.fabric.racks[rack].ports[0].data_capacity
+            offset = (
+                same_rack * port_capacity / self.fabric.uplinks[rack].data_capacity
+                + cross_rack * port_capacity / self.fabric.spine.data_capacity
+            )
+            self.rack_sims[rack].set_background_offset(node, offset)
+            live.add((rack, node))
+        for rack, node in self._offset_nodes - live:
+            self.rack_sims[rack].set_background_offset(node, 0.0)
+        self._offset_nodes = live
+
+    # -- rates / horizon (for external event loops) ------------------------------------
+
+    def progress_rates(self) -> dict[str, float]:
+        """Per-tenant progress rates merged across all racks."""
+        rates: dict[str, float] = {}
+        for sim in self.rack_sims:
+            rates.update(sim.progress_rates())
+        return rates
+
+    def horizon(self) -> float:
+        """Wall seconds the current rates stay exact, cluster-wide.
+
+        Bounded by the next cluster recoupling and every busy rack's own
+        :meth:`~repro.fabric.cosim.RackCoSimulator.horizon`.
+        """
+        if self._epoch is None:
+            raise FabricError(
+                "the cluster has no epoch length yet: pass epoch_seconds or "
+                "admit a tenant first"
+            )
+        bound = max(self._epoch - self._epoch_elapsed, 1e-12)
+        for sim in self.rack_sims:
+            if any(state.running for state in sim.tenant_states.values()):
+                bound = min(bound, sim.horizon())
+        return max(bound, 1e-12)
+
+    # -- checkpoint / rollover ---------------------------------------------------------
+
+    def checkpoint(self) -> ClusterCheckpoint:
+        """Snapshot every rack's epoch state plus the cluster clock."""
+        metrics().counter("fabric.cluster.checkpoints").inc()
+        return ClusterCheckpoint(
+            clock=self._clock,
+            epoch_elapsed=self._epoch_elapsed,
+            racks=tuple(sim.checkpoint() for sim in self.rack_sims),
+        )
+
+    def rollover(self, checkpoint: ClusterCheckpoint) -> None:
+        """Roll every rack (and the cluster clock) back to a checkpoint."""
+        if len(checkpoint.racks) != len(self.rack_sims):
+            raise FabricError(
+                "checkpoint does not match the cluster's rack count"
+            )
+        for sim, rack_checkpoint in zip(self.rack_sims, checkpoint.racks):
+            sim.rollover(rack_checkpoint)
+        self._clock = checkpoint.clock
+        self._epoch_elapsed = checkpoint.epoch_elapsed
+        metrics().counter("fabric.cluster.rollbacks").inc()
+
+    # -- closed-loop convenience --------------------------------------------------------
+
+    def run_to_completion(self) -> dict:
+        """Step until every admitted tenant finishes (or can never run).
+
+        Finished tenants are withdrawn automatically (releasing rack- or
+        cluster-pool capacity, which admits queued tenants).  Returns a
+        summary dict with per-tenant outcomes — the closed-loop driver
+        behind the ``fabric --cluster`` CLI and the cluster bench group.
+        """
+        outcomes: list[ClusterTenantOutcome] = []
+        for _ in range(self.MAX_EPOCHS):
+            finished: list[str] = []
+            running = 0
+            for name, rack in self._tenant_rack.items():
+                state = self.rack_sims[rack].tenant_states.get(name)
+                if state is None:
+                    continue
+                if state.finished:
+                    finished.append(name)
+                elif state.running:
+                    running += 1
+            for name in finished:
+                rack = self._tenant_rack[name]
+                state = self.rack_sims[rack].tenant_states[name]
+                outcomes.append(
+                    ClusterTenantOutcome(
+                        name=name,
+                        rack=rack,
+                        node=state.node,
+                        spilled=name in self._spilled,
+                        lease_state=LEASE_GRANTED,
+                        start_time=(
+                            state.lease.granted_at
+                            if state.lease is not None
+                            else None
+                        ),
+                        finish_time=state.finish_time,
+                        baseline_runtime=state.baseline_runtime,
+                        wait_time=(
+                            state.lease.wait_time
+                            if state.lease is not None
+                            else 0.0
+                        ),
+                    )
+                )
+                self.withdraw(name)
+            if not self._tenant_rack:
+                break
+            if running == 0 and not finished:
+                # Everything left is queued behind capacity nothing will
+                # release: record and stop rather than spinning.
+                for name, rack in list(self._tenant_rack.items()):
+                    state = self.rack_sims[rack].tenant_states.get(name)
+                    outcomes.append(
+                        ClusterTenantOutcome(
+                            name=name,
+                            rack=rack,
+                            node=state.node if state is not None else -1,
+                            spilled=name in self._spilled,
+                            lease_state=(
+                                state.lease.state
+                                if state is not None and state.lease is not None
+                                else LEASE_REJECTED
+                            ),
+                            start_time=None,
+                            finish_time=None,
+                            baseline_runtime=(
+                                state.baseline_runtime if state is not None else 0.0
+                            ),
+                        )
+                    )
+                    self.withdraw(name)
+                break
+            if finished:
+                continue
+            self.step(self.horizon())
+        else:
+            raise FabricError(
+                f"cluster co-simulation did not terminate within "
+                f"{self.MAX_EPOCHS} iterations"
+            )
+        finished_outcomes = [o for o in outcomes if o.finish_time is not None]
+        return {
+            "makespan": max(
+                (o.finish_time for o in finished_outcomes), default=0.0
+            ),
+            "mean_slowdown": (
+                float(np.mean([o.slowdown for o in finished_outcomes]))
+                if finished_outcomes
+                else 1.0
+            ),
+            "n_racks": self.fabric.n_racks,
+            "nodes_per_rack": self.fabric.nodes_per_rack,
+            "solver": self.fabric.solver,
+            "epoch_seconds": self._epoch,
+            "spilled_tenants": sum(1 for o in outcomes if o.spilled),
+            "cluster_pool_gb": (
+                self.cluster_pool.capacity_bytes / 1e9
+                if self.cluster_pool is not None
+                else 0.0
+            ),
+            "tenants": [
+                {
+                    "name": o.name,
+                    "rack": o.rack,
+                    "node": o.node,
+                    "spilled": o.spilled,
+                    "lease_state": o.lease_state,
+                    "wait_s": o.wait_time,
+                    "runtime_s": o.runtime,
+                    "baseline_s": o.baseline_runtime,
+                    "slowdown": o.slowdown,
+                }
+                for o in sorted(outcomes, key=lambda o: (o.rack, o.name))
+            ],
+        }

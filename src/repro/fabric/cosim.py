@@ -433,6 +433,11 @@ class EpochCheckpoint:
     tenants: tuple[tuple[str, int, float, Optional[float]], ...]
     #: (name, background-timeline length) per tenant, for rollback trimming.
     histories: tuple[tuple[str, int], ...]
+    #: (node, bytes/s) external background offsets (cluster spine traffic).
+    offsets: tuple[tuple[int, float], ...] = ()
+    #: Signature of the last resolved epoch, for dirty-epoch skip tracking.
+    #: Restored on rollback so a stale signature can never cause a wrong skip.
+    solve_key: Optional[tuple] = None
 
 
 class RackCoSimulator:
@@ -544,6 +549,18 @@ class RackCoSimulator:
         self._inc_epoch: Optional[float] = self._epoch_seconds
         self._inc_backgrounds: dict[int, float] = {}
         self._inc_telemetry = RackTelemetry()
+        #: External (outside-the-rack) background per node, bytes/s.
+        self._inc_offsets: dict[int, float] = {}
+        #: Signature of the epoch state the current backgrounds were resolved
+        #: for — when the next rollover poses the identical problem, the
+        #: fixed-point solve is skipped (see :attr:`skip_unchanged_epochs`).
+        self._inc_solve_key: Optional[tuple] = None
+        #: Incremental stepping: skip the contention re-solve at epoch
+        #: rollovers whose demand vector is unchanged.  Observable behaviour
+        #: is identical either way (the skipped solve would reproduce the
+        #: frozen backgrounds); set to False to force a fresh solve every
+        #: epoch, e.g. in differential tests.
+        self.skip_unchanged_epochs: bool = True
 
     # -- baseline profiling ---------------------------------------------------------
 
@@ -829,7 +846,7 @@ class RackCoSimulator:
             self._inc_epoch = max(state.baseline_runtime / 40.0, 1e-6)
         state.lease = self.pool.request(spec.name, spec.lease_bytes, time=self._inc_clock)
         self._inc_states[spec.name] = state
-        self._rollover_epoch()
+        self._rollover_epoch(force=True)
         return state.lease
 
     def withdraw(self, name: str, time: Optional[float] = None) -> None:
@@ -847,7 +864,52 @@ class RackCoSimulator:
         state = self._inc_states.pop(name)
         if state.lease is not None and state.lease.state in (LEASE_GRANTED, LEASE_QUEUED):
             self.pool.release(state.lease, time=self._inc_clock)
-        self._rollover_epoch()
+        self._rollover_epoch(force=True)
+
+    def set_background_offset(self, node: int, bandwidth: float) -> None:
+        """Impose extra background bandwidth on ``node`` from outside the rack.
+
+        The offset models traffic the intra-rack solve cannot see — a cluster
+        fabric's spine traffic landing on the node's pool path — and is simply
+        added to whatever intra-rack background the node's co-runners
+        generate.  It takes effect immediately (the current epoch's frozen
+        background is adjusted in place, and the tenant's background history
+        gets a point at the current clock) and persists across rollovers
+        until replaced; pass 0 to clear.  Offsets are part of the dirty-epoch
+        signature, so changing them always triggers a re-solve path update.
+        """
+        if not 0 <= node < self.topology.n_nodes:
+            raise FabricError(
+                f"node {node} is not part of this {self.topology.n_nodes}-node fabric"
+            )
+        if bandwidth < 0:
+            raise FabricError("background offset must be >= 0")
+        old = self._inc_offsets.get(node, 0.0)
+        if bandwidth > 0:
+            self._inc_offsets[node] = float(bandwidth)
+        else:
+            self._inc_offsets.pop(node, None)
+        delta = float(bandwidth) - old
+        if delta == 0.0:
+            return
+        if node in self._inc_backgrounds:
+            self._inc_backgrounds[node] += delta
+            for state in self._inc_states.values():
+                if state.node != node or not state.running:
+                    continue
+                background = self._inc_backgrounds[node]
+                if (
+                    state.background_times
+                    and state.background_times[-1] >= self._inc_clock - 1e-12
+                ):
+                    state.background_bandwidths[-1] = background
+                else:
+                    state.background_times.append(self._inc_clock)
+                    state.background_bandwidths.append(background)
+
+    def background_offset(self, node: int) -> float:
+        """The external background offset currently imposed on ``node``."""
+        return self._inc_offsets.get(node, 0.0)
 
     def baseline_runtime_of(self, name: str) -> float:
         """Interference-free total runtime of an admitted tenant, seconds."""
@@ -965,6 +1027,8 @@ class RackCoSimulator:
                 for name, s in ordered
             ),
             histories=tuple((name, len(s.background_times)) for name, s in ordered),
+            offsets=tuple(sorted(self._inc_offsets.items())),
+            solve_key=self._inc_solve_key,
         )
 
     def rollover(self, checkpoint: EpochCheckpoint) -> None:
@@ -986,6 +1050,8 @@ class RackCoSimulator:
         self._inc_clock = checkpoint.clock
         self._inc_epoch_elapsed = checkpoint.epoch_elapsed
         self._inc_backgrounds = dict(checkpoint.backgrounds)
+        self._inc_offsets = dict(checkpoint.offsets)
+        self._inc_solve_key = checkpoint.solve_key
         for name, phase_index, phase_elapsed, finish_time in checkpoint.tenants:
             state = self._inc_states[name]
             state.phase_index = phase_index
@@ -1004,20 +1070,45 @@ class RackCoSimulator:
         except KeyError as exc:
             raise FabricError(f"no admitted tenant named {name!r}") from exc
 
-    def _rollover_epoch(self) -> None:
+    def _rollover_epoch(self, force: bool = False) -> None:
         """Close the current epoch: re-resolve backgrounds, restart the epoch.
 
         Called at every epoch boundary and on every tenant admission or
         withdrawal, so the frozen backgrounds always reflect the live tenant
         mix and their current phases.
+
+        When :attr:`skip_unchanged_epochs` is on and neither the demand
+        vector nor the external offsets changed since the last resolved
+        epoch, the fixed-point solve is skipped — it would reproduce the
+        backgrounds already frozen — while history and telemetry are still
+        recorded exactly as on the resolve path, so trajectories are
+        bit-identical with skipping on or off.  ``force`` (admission,
+        withdrawal, rollback) always re-solves: those events change pool or
+        lease state the demand signature alone cannot see.
         """
-        metrics().counter("fabric.cosim.epoch_rollovers").inc()
+        registry = metrics()
+        registry.counter("fabric.cosim.epoch_rollovers").inc()
         running = [s for s in self._inc_states.values() if s.running]
         demands = {s.node: s.current_offered_bandwidth() for s in running}
-        delivered = self.topology.resolve(demands) if demands else {}
-        self._inc_backgrounds = {
-            s.node: self.topology.background_for(s.node, delivered) for s in running
-        }
+        solve_key = (
+            tuple(sorted(demands.items())),
+            tuple(sorted(self._inc_offsets.items())),
+        )
+        if (
+            not force
+            and self.skip_unchanged_epochs
+            and solve_key == self._inc_solve_key
+        ):
+            registry.counter("fabric.cosim.epoch_skips").inc()
+        else:
+            registry.counter("fabric.cosim.epoch_resolves").inc()
+            delivered = self.topology.resolve(demands) if demands else {}
+            self._inc_backgrounds = {
+                s.node: self.topology.background_for(s.node, delivered)
+                + self._inc_offsets.get(s.node, 0.0)
+                for s in running
+            }
+            self._inc_solve_key = solve_key
         self._inc_epoch_elapsed = 0.0
         for state in running:
             background = self._inc_backgrounds[state.node]

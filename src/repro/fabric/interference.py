@@ -13,6 +13,12 @@ Units: timeline samples are (simulated seconds, bytes/s of background data
 bandwidth); one sample per co-simulation epoch, piecewise constant until the
 next sample (matching the epoch semantics of
 :mod:`repro.fabric.cosim` — backgrounds only change at epoch rollovers).
+
+There is deliberately no per-rack state here: a timeline is always recorded
+against one tenant's own pool-port link, so the adapter works unchanged at
+cluster scale (:mod:`repro.fabric.cluster`), where spilled tenants' uplink
+and spine contention is already folded into the recorded bandwidths as
+background offsets before they reach this class.
 """
 
 from __future__ import annotations

@@ -1,0 +1,236 @@
+"""Vectorized fixed-point contention solving and demand-keyed result caching.
+
+The damped fixed point of :meth:`repro.fabric.topology.FabricTopology.resolve`
+is the hot path of every co-simulation epoch, and at cluster scale it runs
+once per rack per epoch.  This module provides the NumPy implementation that
+makes it scale, plus the supporting machinery the incremental stepper uses:
+
+* :func:`solve_fixed_point` — the Jacobi iteration of the scalar reference
+  path expressed on flat arrays, so one call can resolve one rack *or* a
+  whole cluster's racks batched into a single demand vector (racks are
+  independent because every node belongs to exactly one port).
+* :class:`ContentionCache` — a small LRU of resolved allocations keyed by
+  *quantized* demand vectors, so what-if sweeps and steady-state epochs that
+  re-pose an (almost) identical contention problem skip the iteration
+  entirely.
+
+The math mirrors the scalar reference exactly (same damping, same update
+rule, same Jacobi scheduling of updates): per iteration every node's
+available share is the port's data capacity minus what its co-runners
+currently *deliver* (never below ``min_share`` of the capacity, never above
+the per-node link), and the node moves a ``damping`` fraction of the way to
+``min(offered, available)``.  The only numerical difference is that per-port
+background sums are computed as ``port_total - own`` instead of an explicit
+sum over co-runners, which differs by float rounding only (orders of
+magnitude below the convergence tolerance).  The differential suite in
+``tests/fabric/test_solver_equivalence.py`` holds the two paths together.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..telemetry import metrics
+
+#: Solver names accepted everywhere a path is selectable.
+SOLVER_SCALAR = "scalar"
+SOLVER_VECTORIZED = "vectorized"
+SOLVERS = (SOLVER_SCALAR, SOLVER_VECTORIZED)
+
+#: Default demand quantum of the contention cache, bytes/s.  One cache cell
+#: is 16 MB/s wide — an order of magnitude above the solver's default
+#: convergence tolerance (1 MB/s), three orders below any bandwidth that
+#: matters on the modelled fabrics.
+DEFAULT_CACHE_QUANTUM = 16e6
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Raw output of one (possibly batched) fixed-point solve.
+
+    ``delivered`` and ``delta`` are aligned with the input arrays;
+    ``iterations`` / ``converged`` / ``residual`` describe the global
+    iteration (for a batched solve: iterations until *every* sub-problem
+    converged, and the largest final update anywhere).  ``delta`` is the
+    final iteration's per-entry |update|, letting a batched caller derive
+    per-sub-problem residuals/convergence.
+    """
+
+    delivered: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+    delta: np.ndarray
+
+
+def solve_fixed_point(
+    offered: np.ndarray,
+    port_index: np.ndarray,
+    *,
+    capacity: float | np.ndarray,
+    node_bandwidth: float | np.ndarray,
+    min_share: float,
+    damping: float | np.ndarray,
+    iterations: int,
+    tolerance: float,
+) -> FixedPointResult:
+    """Resolve port contention for ``offered`` demands on flat arrays.
+
+    Parameters
+    ----------
+    offered:
+        Demand per entry, already clipped to the node link, bytes/s.
+    port_index:
+        Dense port id per entry (entries sharing an id contend).  Ids only
+        need to be non-negative ints; gaps are allowed.
+    capacity / node_bandwidth:
+        Port data capacity and per-node sustainable bandwidth, bytes/s —
+        scalars for a homogeneous fabric or per-entry arrays for a batch of
+        differently provisioned racks.
+    min_share:
+        Fraction of the capacity always left available (the link model's
+        deadlock guard).
+    damping:
+        Fixed-point damping in (0, 1], scalar or per-entry (a batched solve
+        uses each rack's own sharing-degree-derived damping).
+    iterations / tolerance:
+        Iteration budget and convergence threshold in bytes/s.
+    """
+    offered = np.asarray(offered, dtype=np.float64)
+    if offered.size == 0:
+        return FixedPointResult(
+            delivered=offered.copy(),
+            iterations=1,
+            converged=True,
+            residual=0.0,
+            delta=offered.copy(),
+        )
+    port_index = np.asarray(port_index, dtype=np.intp)
+    n_ports = int(port_index.max()) + 1
+    capacity = np.broadcast_to(np.asarray(capacity, dtype=np.float64), offered.shape)
+    node_bandwidth = np.broadcast_to(
+        np.asarray(node_bandwidth, dtype=np.float64), offered.shape
+    )
+    damping = np.broadcast_to(np.asarray(damping, dtype=np.float64), offered.shape)
+    floor = min_share * capacity
+
+    delivered = offered.copy()
+    converged = False
+    residual = 0.0
+    delta = np.zeros_like(delivered)
+    used = 0
+    for _ in range(max(int(iterations), 1)):
+        used += 1
+        port_total = np.bincount(port_index, weights=delivered, minlength=n_ports)
+        background = port_total[port_index] - delivered
+        available = np.minimum(
+            np.maximum(capacity - np.minimum(background, capacity), floor),
+            node_bandwidth,
+        )
+        target = np.minimum(offered, available)
+        updated = delivered + damping * (target - delivered)
+        delta = np.abs(updated - delivered)
+        residual = float(np.max(delta))
+        delivered = updated
+        if residual < tolerance:
+            converged = True
+            break
+    return FixedPointResult(
+        delivered=delivered,
+        iterations=used,
+        converged=converged,
+        residual=residual,
+        delta=delta,
+    )
+
+
+def quantize_demands(
+    demands: Mapping[int, float], quantum: float = DEFAULT_CACHE_QUANTUM
+) -> tuple[tuple[int, int], ...]:
+    """A hashable, order-independent key of a demand map, ``quantum`` coarse.
+
+    Demands within half a quantum of each other map to the same key, which is
+    what lets the cache serve slightly perturbed re-poses of one contention
+    problem.  The quantum must stay well above the solver tolerance for the
+    served result to be within tolerance of a fresh solve.
+    """
+    return tuple(
+        sorted((int(node), int(round(value / quantum))) for node, value in demands.items())
+    )
+
+
+class ContentionCache:
+    """LRU cache of resolved contention states keyed by quantized demands.
+
+    One cache belongs to one fabric wiring (the key deliberately does not
+    include the topology — attach a fresh cache per
+    :class:`~repro.fabric.topology.FabricTopology`).  Hits and misses are
+    counted both locally (:attr:`hits` / :attr:`misses`, for tests) and on
+    the telemetry registry (``fabric.solve.cache_hits`` /
+    ``fabric.solve.cache_misses``).
+    """
+
+    def __init__(
+        self, maxsize: int = 4096, quantum: float = DEFAULT_CACHE_QUANTUM
+    ) -> None:
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        if quantum <= 0:
+            raise ValueError("cache quantum must be positive")
+        self.maxsize = int(maxsize)
+        self.quantum = float(quantum)
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(
+        self,
+        demands: Mapping[int, float],
+        iterations: int,
+        damping: float,
+        tolerance: float,
+    ) -> tuple:
+        """Cache key: quantized demand vector + the solve parameters."""
+        return (
+            quantize_demands(demands, self.quantum),
+            int(iterations),
+            round(float(damping), 12),
+            float(tolerance),
+        )
+
+    def get(self, key: tuple):
+        """The cached solve for ``key`` (refreshing its LRU slot), else None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            metrics().counter("fabric.solve.cache_misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        metrics().counter("fabric.solve.cache_hits").inc()
+        return entry
+
+    def put(self, key: tuple, value) -> None:
+        """Store a solve, evicting the least recently used entry when full."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+
+def validate_solver(name: str) -> str:
+    """Normalise and validate a solver name (raises ValueError otherwise)."""
+    if name not in SOLVERS:
+        raise ValueError(f"unknown solver {name!r}; known: {SOLVERS}")
+    return name

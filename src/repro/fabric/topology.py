@@ -29,11 +29,21 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Mapping
 
+import numpy as np
+
 from ..config.errors import FabricError
 from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
 from ..interconnect.link import LinkShare, RemoteLink
 from ..interconnect.queueing import QueueingModel
 from ..telemetry import metrics, trace_span
+from .solver import (
+    DEFAULT_CACHE_QUANTUM,
+    SOLVER_SCALAR,
+    SOLVER_VECTORIZED,
+    ContentionCache,
+    solve_fixed_point,
+    validate_solver,
+)
 
 
 class FabricConvergenceWarning(RuntimeWarning):
@@ -86,6 +96,13 @@ class FabricTopology:
         port — a real pool port is often provisioned wider than one node link.
     queueing:
         Contention model shared by all ports (defaults to the link's M/M/1).
+    solver:
+        Default fixed-point implementation for :meth:`resolve` /
+        :meth:`resolve_detailed`: ``"vectorized"`` (NumPy, the default) or
+        ``"scalar"`` (the original pure-Python reference).  Both compute the
+        same damped fixed point; they differ only in float-rounding of the
+        per-port background sums, orders of magnitude below the solve
+        tolerance.  A per-call ``solver=`` argument overrides this.
     """
 
     def __init__(
@@ -95,6 +112,7 @@ class FabricTopology:
         testbed: TestbedConfig = SKYLAKE_EMULATION,
         port_capacity_scale: float = 1.0,
         queueing: QueueingModel | None = None,
+        solver: str = SOLVER_VECTORIZED,
     ) -> None:
         if n_nodes <= 0:
             raise FabricError("a fabric needs at least one node")
@@ -105,6 +123,8 @@ class FabricTopology:
         self.n_nodes = int(n_nodes)
         self.n_ports = int(n_ports)
         self.testbed = testbed
+        self.solver = validate_solver(solver)
+        self._cache: ContentionCache | None = None
         port_testbed = (
             testbed
             if port_capacity_scale == 1.0
@@ -159,12 +179,38 @@ class FabricTopology:
             if n != node
         )
 
+    def enable_solver_cache(
+        self, maxsize: int = 4096, quantum: float = DEFAULT_CACHE_QUANTUM
+    ) -> ContentionCache:
+        """Attach (and return) an LRU cache of resolved contention states.
+
+        Subsequent :meth:`resolve` / :meth:`resolve_detailed` calls serve
+        repeat demand vectors — quantized to ``quantum`` bytes/s, so
+        sub-quantum perturbations hit too — without re-running the fixed
+        point.  The cache is keyed on demands and solve parameters only
+        (one cache per topology; never share across differently-wired
+        fabrics).  Call again to replace the cache with a fresh one; call
+        :meth:`disable_solver_cache` to turn it off.
+        """
+        self._cache = ContentionCache(maxsize=maxsize, quantum=quantum)
+        return self._cache
+
+    def disable_solver_cache(self) -> None:
+        """Drop the contention cache; every solve runs the fixed point again."""
+        self._cache = None
+
+    @property
+    def solver_cache(self) -> ContentionCache | None:
+        """The attached contention cache, or None when caching is off."""
+        return self._cache
+
     def resolve(
         self,
         demands: Mapping[int, float],
         iterations: int = 64,
         damping: float | None = None,
         tolerance: float = 1e6,
+        solver: str | None = None,
     ) -> dict[int, float]:
         """Delivered bandwidth per node under mutual port contention, bytes/s.
 
@@ -172,7 +218,9 @@ class FabricTopology:
         only want the allocation; the full convergence diagnostics (and the
         non-convergence warning) live there.
         """
-        return self.resolve_detailed(demands, iterations, damping, tolerance).delivered
+        return self.resolve_detailed(
+            demands, iterations, damping, tolerance, solver
+        ).delivered
 
     def resolve_detailed(
         self,
@@ -180,6 +228,7 @@ class FabricTopology:
         iterations: int = 64,
         damping: float | None = None,
         tolerance: float = 1e6,
+        solver: str | None = None,
     ) -> SolveDiagnostics:
         """Resolve port contention and report what the solver did.
 
@@ -202,8 +251,12 @@ class FabricTopology:
         convergence and the final residual; a solve that exhausts its budget
         additionally emits a :class:`FabricConvergenceWarning` and bumps the
         ``fabric.solve.nonconverged`` telemetry counter, so silent
-        non-convergence cannot skew results unnoticed.
+        non-convergence cannot skew results unnoticed.  When a contention
+        cache is attached (:meth:`enable_solver_cache`), a repeated demand
+        vector returns the cached diagnostics — including the warning, so a
+        cached non-convergence stays as loud as a fresh one.
         """
+        solver = validate_solver(solver if solver is not None else self.solver)
         if damping is not None and not 0.0 < damping <= 1.0:
             raise FabricError("damping must be in (0, 1]")
         if damping is None:
@@ -215,49 +268,119 @@ class FabricTopology:
                 default=1,
             )
             damping = 1.0 / max(max_sharing, 1)
-        with trace_span("fabric.solve", nodes=len(demands)):
-            delivered = {n: self._node_demand(n, demands) for n in demands}
-            max_delta = 0.0
-            converged = False
-            used = 0
-            for _ in range(max(int(iterations), 1)):
-                used += 1
-                max_delta = 0.0
-                updated: dict[int, float] = {}
-                for node in delivered:
-                    offered = self._node_demand(node, demands)
-                    background = sum(
-                        delivered[other]
-                        for other in self.nodes_on_port(self.port_of(node))
-                        if other != node and other in delivered
-                    )
-                    share = self.link_of(node).share(offered, background)
-                    target = min(offered, share.available_bandwidth)
-                    new_value = delivered[node] + damping * (target - delivered[node])
-                    max_delta = max(max_delta, abs(new_value - delivered[node]))
-                    updated[node] = new_value
-                delivered = updated
-                if max_delta < tolerance:
-                    converged = True
-                    break
+        cache_key = None
+        if self._cache is not None:
+            cache_key = self._cache.key(demands, iterations, damping, tolerance)
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                metrics().counter("fabric.solve.calls").inc()
+                self._warn_nonconverged(cached, tolerance)
+                return replace(cached, delivered=dict(cached.delivered))
+        with trace_span("fabric.solve", nodes=len(demands), solver=solver):
+            if solver == SOLVER_SCALAR:
+                delivered, used, converged, max_delta = self._solve_scalar(
+                    demands, iterations, damping, tolerance
+                )
+            else:
+                delivered, used, converged, max_delta = self._solve_vectorized(
+                    demands, iterations, damping, tolerance
+                )
         registry = metrics()
         registry.counter("fabric.solve.calls").inc()
         registry.histogram("fabric.solve.iterations").observe(used)
-        if not converged:
-            registry.counter("fabric.solve.nonconverged").inc()
-            warnings.warn(
-                f"fixed-point contention solve did not converge within {used} "
-                f"iterations (residual {max_delta:.3g} bytes/s, tolerance "
-                f"{tolerance:.3g}); results reflect the last iterate",
-                FabricConvergenceWarning,
-                stacklevel=2,
-            )
-        return SolveDiagnostics(
+        diagnostics = SolveDiagnostics(
             delivered=delivered,
             iterations=used,
             converged=converged,
             residual=max_delta,
             damping=damping,
+        )
+        if cache_key is not None:
+            self._cache.put(cache_key, diagnostics)
+        self._warn_nonconverged(diagnostics, tolerance)
+        return diagnostics
+
+    def _solve_scalar(
+        self,
+        demands: Mapping[int, float],
+        iterations: int,
+        damping: float,
+        tolerance: float,
+    ) -> tuple[dict[int, float], int, bool, float]:
+        """The original pure-Python fixed point — kept verbatim as the
+        reference implementation the differential test suite checks the
+        vectorized path against."""
+        delivered = {n: self._node_demand(n, demands) for n in demands}
+        max_delta = 0.0
+        converged = False
+        used = 0
+        for _ in range(max(int(iterations), 1)):
+            used += 1
+            max_delta = 0.0
+            updated: dict[int, float] = {}
+            for node in delivered:
+                offered = self._node_demand(node, demands)
+                background = sum(
+                    delivered[other]
+                    for other in self.nodes_on_port(self.port_of(node))
+                    if other != node and other in delivered
+                )
+                share = self.link_of(node).share(offered, background)
+                target = min(offered, share.available_bandwidth)
+                new_value = delivered[node] + damping * (target - delivered[node])
+                max_delta = max(max_delta, abs(new_value - delivered[node]))
+                updated[node] = new_value
+            delivered = updated
+            if max_delta < tolerance:
+                converged = True
+                break
+        return delivered, used, converged, max_delta
+
+    def _solve_vectorized(
+        self,
+        demands: Mapping[int, float],
+        iterations: int,
+        damping: float,
+        tolerance: float,
+    ) -> tuple[dict[int, float], int, bool, float]:
+        """The NumPy fixed point: same update rule on flat arrays.
+
+        All ports of one topology are built identically, so port capacity and
+        node bandwidth are scalars here; :func:`solve_fixed_point` also takes
+        per-entry arrays, which is how :class:`~repro.fabric.cluster.
+        ClusterFabric` batches heterogeneous racks through the same kernel.
+        """
+        nodes = list(demands)
+        port_index = np.array([self.port_of(n) for n in nodes], dtype=np.intp)
+        offered = np.array([self._node_demand(n, demands) for n in nodes])
+        link = self.ports[0]
+        result = solve_fixed_point(
+            offered,
+            port_index,
+            capacity=link.data_capacity,
+            node_bandwidth=link.node_bandwidth,
+            min_share=RemoteLink.MIN_SHARE,
+            damping=damping,
+            iterations=iterations,
+            tolerance=tolerance,
+        )
+        delivered = {n: float(v) for n, v in zip(nodes, result.delivered)}
+        return delivered, result.iterations, result.converged, result.residual
+
+    def _warn_nonconverged(
+        self, diagnostics: SolveDiagnostics, tolerance: float
+    ) -> None:
+        """Emit the non-convergence warning + counter for a finished solve."""
+        if diagnostics.converged:
+            return
+        metrics().counter("fabric.solve.nonconverged").inc()
+        warnings.warn(
+            f"fixed-point contention solve did not converge within "
+            f"{diagnostics.iterations} iterations (residual "
+            f"{diagnostics.residual:.3g} bytes/s, tolerance {tolerance:.3g}); "
+            f"results reflect the last iterate",
+            FabricConvergenceWarning,
+            stacklevel=3,
         )
 
     def share_for(self, node: int, demands: Mapping[int, float]) -> LinkShare:

@@ -7,13 +7,17 @@ that avoids placing interference-inducing jobs next to sensitive ones
 simulation we generalise that idea into placement policies that choose the
 rack a job lands in.
 
-All policies except :class:`FabricCoupledPlacement` score racks from the
-jobs' *submission-time hints* (``induced_loi``, sensitivity curves, pool GB).
-:class:`FabricCoupledPlacement` instead reads the live state of the
+All policies except :class:`FabricCoupledPlacement` and
+:class:`ClusterFabricPlacement` score racks from the jobs' *submission-time
+hints* (``induced_loi``, sensitivity curves, pool GB).  The two coupled
+policies instead read the live state of the
 :class:`~repro.scheduler.progress.FabricCoupledProgress` model driving the
-simulation — the contention it projects is resolved on the same fabric the
+simulation — the contention they project is resolved on the same fabric the
 jobs actually run on, so placement sees the emergent interference of the
-co-simulation rather than a static proxy of it.
+co-simulation rather than a static proxy of it;
+:class:`ClusterFabricPlacement` additionally trades that port pressure
+against hierarchical pool pressure (rack-pool headroom and cluster-pool
+spill).
 """
 
 from __future__ import annotations
@@ -218,12 +222,91 @@ class FabricCoupledPlacement:
         return min(acceptable if acceptable else candidates, key=lambda rack: pressures[rack.rack_id])
 
 
+@dataclass
+class ClusterFabricPlacement:
+    """Cluster-scale placement: inter-rack traffic versus pool pressure.
+
+    Extends :class:`FabricCoupledPlacement`'s live port-pressure projection
+    with the hierarchical-pool view of the
+    :class:`~repro.fabric.cluster.ClusterCoSimulator`: a job whose pool lease
+    the rack's *mirrored fabric pool* cannot grant immediately will *spill*
+    into the cluster pool and from then on contend on the rack uplink and the
+    shared spine, so racks where the job would spill are penalised by
+    ``spill_weight`` (in port-utilisation units), and every rack pays a
+    continuous ``pool_weight``-scaled pool-pressure term so leases spread
+    away from nearly-full pools *before* anything spills.  The score,
+
+    ``score = port-pressure + pool_weight · pool-pressure + spill_weight · would-spill``,
+
+    places jobs to keep traffic rack-local first and ports calm second.
+    Racks whose projected port pressure exceeds ``max_port_utilization`` are
+    avoided unless no other rack can host the job; with no progress model
+    attached the port and spill terms fall back to the static hints.
+    """
+
+    progress: Optional[object] = None
+    max_port_utilization: float = 0.9
+    pool_weight: float = 0.25
+    spill_weight: float = 0.5
+    name: str = "cluster-fabric"
+
+    def __post_init__(self) -> None:
+        if self.pool_weight < 0:
+            raise SchedulingError("pool_weight must be >= 0")
+        if self.spill_weight < 0:
+            raise SchedulingError("spill_weight must be >= 0")
+
+    def _port_pressure(self, rack: Rack, job: Job) -> float:
+        if self.progress is not None and hasattr(
+            self.progress, "projected_port_pressure"
+        ):
+            return float(self.progress.projected_port_pressure(rack, job))
+        return (rack.aggregate_loi() + job.profile.induced_loi) / 100.0
+
+    def _pool_pressure(self, rack: Rack, job: Job) -> float:
+        return (rack.pool_used_gb + job.profile.pool_gb) / max(
+            rack.pool_capacity_gb, 1e-9
+        )
+
+    def _would_spill(self, rack: Rack, job: Job) -> bool:
+        lease_bytes = job.profile.pool_gb * 1e9
+        if self.progress is not None and hasattr(self.progress, "rack_simulator"):
+            pool = self.progress.rack_simulator(rack).pool
+            return lease_bytes > pool.free_bytes or pool.queue_depth > 0
+        return job.profile.pool_gb > rack.pool_free_gb
+
+    def choose_rack(self, cluster: Cluster, job: Job, rng: np.random.Generator) -> Optional[Rack]:
+        candidates = cluster.candidate_racks(job)
+        if not candidates:
+            return None
+        scores = {}
+        pressures = {}
+        for rack in candidates:
+            pressure = self._port_pressure(rack, job)
+            pressures[rack.rack_id] = pressure
+            scores[rack.rack_id] = (
+                pressure
+                + self.pool_weight * self._pool_pressure(rack, job)
+                + (self.spill_weight if self._would_spill(rack, job) else 0.0)
+            )
+        acceptable = [
+            rack
+            for rack in candidates
+            if pressures[rack.rack_id] <= self.max_port_utilization
+        ]
+        return min(
+            acceptable if acceptable else candidates,
+            key=lambda rack: scores[rack.rack_id],
+        )
+
+
 POLICIES = {
     "random": RandomPlacement,
     "least-loaded": LeastLoadedPlacement,
     "interference-aware": InterferenceAwarePlacement,
     "pool-aware": PoolAwarePlacement,
     "fabric-coupled": FabricCoupledPlacement,
+    "cluster-fabric": ClusterFabricPlacement,
 }
 
 

@@ -11,14 +11,16 @@ progress*, and that is exactly where the paper's static methodology and the
   co-runner contributes its ``induced_loi`` and a job's rate is the inverse of
   its measured ``slowdown_at(sum of co-runner LoIs)``.  Interference is a
   static curve; a slowed-down co-runner keeps "emitting" its nominal LoI.
-* :class:`FabricCoupledProgress` drives the rates from
-  :class:`~repro.fabric.cosim.RackCoSimulator` epochs instead: every rack gets
-  its own incrementally-stepped co-simulation, each running job is admitted as
-  a fabric tenant on its node, and the progress rates fed back to the
-  scheduler are the emergent per-epoch rates the fabric resolves — a tenant in
-  a bandwidth-hungry phase slows its port's co-runners *and therefore itself
-  finishes later, prolonging the interference it causes*, the feedback the
-  static curve cannot express.
+* :class:`FabricCoupledProgress` drives the rates from fabric co-simulation
+  epochs instead: all racks' incremental co-simulators are stepped together
+  by one shared :class:`~repro.fabric.cluster.ClusterCoSimulator`, each
+  running job is admitted as a fabric tenant on its node, and the progress
+  rates fed back to the scheduler are the emergent per-epoch rates the fabric
+  resolves — a tenant in a bandwidth-hungry phase slows its port's co-runners
+  *and therefore itself finishes later, prolonging the interference it
+  causes*, the feedback the static curve cannot express.  With a cluster
+  spill pool provisioned, jobs that do not fit their rack's pool spill into
+  it and additionally contend on their rack uplink and the shared spine.
 
 Coupling contract (mirrors :mod:`repro.fabric.cosim`)
 -----------------------------------------------------
@@ -49,9 +51,9 @@ from typing import Callable, Dict, Mapping, Optional, Protocol
 
 from ..config.errors import SchedulingError
 from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
+from ..fabric.cluster import ClusterCoSimulator, ClusterFabric
 from ..fabric.cosim import RackCoSimulator, TenantSpec
-from ..fabric.pool import MemoryPool
-from ..fabric.topology import FabricTopology
+from ..fabric.solver import SOLVER_VECTORIZED
 from ..interconnect.link import RemoteLink
 from ..profiler.level3 import SensitivityCurve
 from ..sim.engine import ExecutionEngine
@@ -209,7 +211,13 @@ class _CoupledJob:
 
 
 class FabricCoupledProgress:
-    """Progress rates from per-rack :class:`RackCoSimulator` epochs.
+    """Progress rates from the shared :class:`ClusterCoSimulator` epoch loop.
+
+    All racks' incremental co-simulators are stepped together by one
+    :class:`~repro.fabric.cluster.ClusterCoSimulator`, so rack epochs stay
+    aligned, per-tenant baselines are cached cluster-wide, and (when a
+    cluster pool is provisioned) jobs that do not fit their rack's pool spill
+    into it and feel uplink/spine contention.
 
     Parameters
     ----------
@@ -226,10 +234,20 @@ class FabricCoupledProgress:
         Fabric wiring of each rack's co-simulator (see
         :class:`~repro.fabric.topology.FabricTopology`).
     epoch_seconds:
-        Co-simulation step of every rack (None: each rack derives it from its
-        first tenant's baseline runtime).
+        Cluster co-simulation epoch (None: derived from the first placed
+        job's baseline runtime and shared by every rack).
     testbed / seed:
         Platform description and engine seed for the per-tenant baselines.
+    solver:
+        Contention solver of every rack topology (``"vectorized"`` default,
+        ``"scalar"`` for the reference path).
+    cluster_pool_gb:
+        Capacity of the cluster-level spill pool (0 disables spilling, the
+        historical per-rack-only behaviour).
+    uplink_capacity_scale / spine_capacity_scale:
+        Inter-rack wiring of the underlying
+        :class:`~repro.fabric.cluster.ClusterFabric` (only exercised when
+        spilling is enabled).
     """
 
     name = "fabric-coupled"
@@ -243,9 +261,15 @@ class FabricCoupledProgress:
         epoch_seconds: Optional[float] = None,
         testbed: TestbedConfig = SKYLAKE_EMULATION,
         seed: int = 0,
+        solver: str = SOLVER_VECTORIZED,
+        cluster_pool_gb: float = 0.0,
+        uplink_capacity_scale: float = 4.0,
+        spine_capacity_scale: Optional[float] = None,
     ) -> None:
         if not 0.0 < local_fraction <= 1.0:
             raise SchedulingError("local_fraction must be in (0, 1]")
+        if cluster_pool_gb < 0:
+            raise SchedulingError("cluster_pool_gb must be >= 0")
         self.workloads = dict(workloads) if workloads else {}
         self.local_fraction = float(local_fraction)
         self.ports_per_rack = int(ports_per_rack)
@@ -253,7 +277,13 @@ class FabricCoupledProgress:
         self.epoch_seconds = epoch_seconds
         self.testbed = testbed
         self.seed = int(seed)
+        self.solver = solver
+        self.cluster_pool_gb = float(cluster_pool_gb)
+        self.uplink_capacity_scale = float(uplink_capacity_scale)
+        self.spine_capacity_scale = spine_capacity_scale
         self.cluster: Optional[Cluster] = None
+        self._cluster_sim: Optional[ClusterCoSimulator] = None
+        self._rack_index: Dict[int, int] = {}
         self._racks: Dict[int, RackCoSimulator] = {}
         self._jobs: Dict[int, _CoupledJob] = {}
 
@@ -261,15 +291,19 @@ class FabricCoupledProgress:
 
     def bind(self, cluster: Cluster) -> None:
         self.cluster = cluster
+        self._cluster_sim = None
+        self._rack_index = {}
         self._racks = {}
         self._jobs = {}
 
     def job_started(self, job: Job, rack: Rack, clock: float) -> None:
-        sim = self.rack_simulator(rack)
+        cluster_sim = self.cluster_simulator()
         spec = self._tenant_spec(job, clock)
         node = self._local_node(rack, job)
-        sim.admit(spec, node=node, time=clock)
-        fabric_baseline = sim.baseline_runtime_of(spec.name)
+        cluster_sim.admit(
+            self._rack_index[rack.rack_id], spec, node=node, time=clock
+        )
+        fabric_baseline = self._racks[rack.rack_id].baseline_runtime_of(spec.name)
         scale = (
             job.profile.baseline_runtime / fabric_baseline
             if fabric_baseline > 0
@@ -281,17 +315,19 @@ class FabricCoupledProgress:
 
     def job_finished(self, job: Job, rack: Rack, clock: float) -> None:
         coupled = self._jobs.pop(job.job_id, None)
-        if coupled is not None:
-            self._racks[coupled.rack_id].withdraw(coupled.tenant, time=clock)
+        if coupled is not None and self._cluster_sim is not None:
+            self._cluster_sim.withdraw(coupled.tenant, time=clock)
 
     # -- event-loop hooks ----------------------------------------------------------
 
     def rates(self, clock: float) -> Dict[int, float]:
         if self.cluster is None:
             raise SchedulingError("progress model is not bound to a cluster")
-        fabric_rates = {
-            rack_id: sim.progress_rates() for rack_id, sim in self._racks.items()
-        }
+        fabric_rates = (
+            self._cluster_sim.progress_rates()
+            if self._cluster_sim is not None
+            else {}
+        )
         rates: Dict[int, float] = {}
         for job in self.cluster.running_jobs:
             coupled = self._jobs.get(job.job_id)
@@ -299,7 +335,7 @@ class FabricCoupledProgress:
                 raise SchedulingError(
                     f"job {job.job_id} is running but was never coupled to the fabric"
                 )
-            rate = fabric_rates[coupled.rack_id].get(coupled.tenant)
+            rate = fabric_rates.get(coupled.tenant)
             if rate is None:
                 # The mirrored lease is queued (possible only when the rack's
                 # pool is provisioned tighter than the cluster model believes)
@@ -311,42 +347,75 @@ class FabricCoupledProgress:
         return rates
 
     def horizon(self, clock: float) -> Optional[float]:
-        bounds = [
-            sim.horizon()
-            for sim in self._racks.values()
-            if any(state.running for state in sim.tenant_states.values())
-        ]
-        return min(bounds) if bounds else None
+        sim = self._cluster_sim
+        if sim is None:
+            return None
+        busy = any(
+            any(state.running for state in rack_sim.tenant_states.values())
+            for rack_sim in sim.rack_sims
+        )
+        return sim.horizon() if busy else None
 
     def advance(self, dt: float) -> None:
-        for sim in self._racks.values():
-            sim.step(dt)
+        if self._cluster_sim is not None:
+            self._cluster_sim.step(dt)
 
     # -- fabric wiring ------------------------------------------------------------
 
-    def rack_simulator(self, rack: Rack) -> RackCoSimulator:
-        """The (lazily created) incremental co-simulator of one rack."""
-        if rack.rack_id not in self._racks:
-            n_nodes = len(rack.nodes)
-            topology = FabricTopology(
-                n_nodes=n_nodes,
-                n_ports=min(self.ports_per_rack, n_nodes),
+    def cluster_simulator(self) -> ClusterCoSimulator:
+        """The (lazily created) shared co-simulation of the whole cluster."""
+        if self._cluster_sim is None:
+            if self.cluster is None:
+                raise SchedulingError("progress model is not bound to a cluster")
+            racks = self.cluster.racks
+            nodes_per_rack = max(len(rack.nodes) for rack in racks)
+            fabric = ClusterFabric(
+                n_racks=len(racks),
+                nodes_per_rack=nodes_per_rack,
+                n_ports=min(self.ports_per_rack, nodes_per_rack),
                 testbed=self.testbed,
                 port_capacity_scale=self.port_capacity_scale,
+                uplink_capacity_scale=self.uplink_capacity_scale,
+                spine_capacity_scale=self.spine_capacity_scale,
+                solver=self.solver,
             )
-            # Mirror the rack's pool capacity (GB -> bytes, with a rounding
+            # Mirror each rack's pool capacity (GB -> bytes, with a rounding
             # slack so per-job GB->byte rounding can never queue a lease the
             # cluster model already admitted).
-            capacity = int(round(rack.pool_capacity_gb * 1e9)) + len(rack.nodes)
-            self._racks[rack.rack_id] = RackCoSimulator.incremental(
-                n_nodes=n_nodes,
-                pool=MemoryPool(capacity, name=f"rack-{rack.rack_id}"),
-                topology=topology,
-                testbed=self.testbed,
+            pools = [
+                int(round(rack.pool_capacity_gb * 1e9)) + len(rack.nodes)
+                for rack in racks
+            ]
+            cluster_pool = int(round(self.cluster_pool_gb * 1e9))
+            self._cluster_sim = ClusterCoSimulator(
+                fabric,
+                rack_pool_bytes=pools,
+                cluster_pool_bytes=cluster_pool if cluster_pool > 0 else None,
                 epoch_seconds=self.epoch_seconds,
                 seed=self.seed,
             )
+            self._rack_index = {
+                rack.rack_id: index for index, rack in enumerate(racks)
+            }
+            self._racks = {
+                rack.rack_id: self._cluster_sim.rack_sims[index]
+                for index, rack in enumerate(racks)
+            }
+        return self._cluster_sim
+
+    def rack_simulator(self, rack: Rack) -> RackCoSimulator:
+        """Rack ``rack``'s view into the shared cluster co-simulation."""
+        self.cluster_simulator()
         return self._racks[rack.rack_id]
+
+    def is_spilled(self, job: Job) -> bool:
+        """Whether a running job's pool lease spilled to the cluster pool."""
+        coupled = self._jobs.get(job.job_id)
+        return (
+            coupled is not None
+            and self._cluster_sim is not None
+            and self._cluster_sim.is_spilled(coupled.tenant)
+        )
 
     def projected_port_pressure(self, rack: Rack, job: Job) -> float:
         """Utilisation of the busiest pool port if ``job`` landed in ``rack``.

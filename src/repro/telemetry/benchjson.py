@@ -4,13 +4,14 @@
 the copy at the repository root is the recorded perf point of the current
 PR, and CI's perf-smoke job validates every freshly emitted document against
 :func:`validate_bench` so the trajectory stays machine-comparable across
-PRs before any thresholds are enforced.
+PRs, and diffs it against the committed baseline with :func:`compare_bench`
+so a perf regression fails the job instead of silently entering the record.
 
-Document shape (version 1)::
+Document shape (version 2)::
 
     {
       "schema": "repro.bench.cosim",
-      "version": 1,
+      "version": 2,
       "created_unix": 1754524800.0,
       "quick": false,
       "python": "3.12.3",
@@ -29,8 +30,14 @@ Document shape (version 1)::
       }
     }
 
-Every benchmark group must be present so a missing measurement is a schema
-error, not a silently shorter file.
+Version 2 added the cluster-scale groups (``cluster_fabric`` — epoch
+stepping of the whole-cluster co-simulator — and ``solver_vectorized`` —
+batched NumPy vs scalar contention solving at 100 racks); version-1
+documents remain readable (they must only cover the version-1 groups), so
+the committed trajectory stays comparable across the schema bump.
+
+Every benchmark group of a document's version must be present so a missing
+measurement is a schema error, not a silently shorter file.
 """
 
 from __future__ import annotations
@@ -38,10 +45,15 @@ from __future__ import annotations
 from typing import Mapping
 
 BENCH_SCHEMA = "repro.bench.cosim"
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
-#: Groups a valid document must cover (the acceptance surface of the harness).
-REQUIRED_GROUPS = ("fabric_solver", "rack_cosim_step", "cluster_events")
+#: Groups a valid document must cover, per schema version (the acceptance
+#: surface of the harness).
+REQUIRED_GROUPS_V1 = ("fabric_solver", "rack_cosim_step", "cluster_events")
+REQUIRED_GROUPS = REQUIRED_GROUPS_V1 + ("cluster_fabric", "solver_vectorized")
+
+#: Schema versions :func:`validate_bench` accepts.
+SUPPORTED_VERSIONS = (1, BENCH_SCHEMA_VERSION)
 
 _BENCH_KEYS = ("name", "group", "config", "repeats", "mean_s", "min_s", "throughput_per_s")
 _OVERHEAD_KEYS = (
@@ -63,9 +75,10 @@ def validate_bench(data: Mapping) -> list[str]:
         return ["document is not a JSON object"]
     if data.get("schema") != BENCH_SCHEMA:
         errors.append(f"schema is {data.get('schema')!r}, expected {BENCH_SCHEMA!r}")
-    if data.get("version") != BENCH_SCHEMA_VERSION:
+    version = data.get("version")
+    if version not in SUPPORTED_VERSIONS:
         errors.append(
-            f"version is {data.get('version')!r}, expected {BENCH_SCHEMA_VERSION}"
+            f"version is {version!r}, expected one of {SUPPORTED_VERSIONS}"
         )
     for key in ("created_unix", "python"):
         if key not in data:
@@ -87,7 +100,8 @@ def validate_bench(data: Mapping) -> list[str]:
             value = bench.get(key)
             if isinstance(value, (int, float)) and value < 0:
                 errors.append(f"benchmarks[{i}].{key} is negative")
-    for group in REQUIRED_GROUPS:
+    required = REQUIRED_GROUPS_V1 if version == 1 else REQUIRED_GROUPS
+    for group in required:
         if group not in groups:
             errors.append(f"no benchmark covers required group {group!r}")
     overhead = data.get("telemetry_overhead")
@@ -98,3 +112,68 @@ def validate_bench(data: Mapping) -> list[str]:
             if key not in overhead:
                 errors.append(f"telemetry_overhead missing {key!r}")
     return errors
+
+
+#: Default regression threshold of :func:`compare_bench`: a benchmark must be
+#: at least 50% slower than the baseline before it counts as a regression.
+#: Generous on purpose — CI runners are noisy, and the committed baseline may
+#: have been recorded on different hardware; the comparator is a backstop
+#: against order-of-magnitude slips, not a microbenchmark gate.
+DEFAULT_REGRESSION_THRESHOLD = 0.5
+
+
+def compare_bench(
+    baseline: Mapping,
+    current: Mapping,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> tuple[list[str], list[str]]:
+    """Diff two bench documents: ``(regressions, skipped)``.
+
+    Benchmarks are matched by ``name``; a pair is only *comparable* when both
+    sides ran the identical ``config`` (quick and full runs share configs for
+    the groups meant to be compared across them, and differ where wall times
+    would be incommensurate).  A comparable benchmark regresses when its
+    best-of time grew by more than ``threshold`` (relative): ``min_s`` is
+    used rather than ``mean_s`` because it is the noise-robust statistic on
+    shared CI runners.  Non-comparable or one-sided benchmarks are reported
+    in ``skipped`` so a silently shrinking comparison surface is visible.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    base_by_name = {
+        b.get("name"): b
+        for b in baseline.get("benchmarks", ())
+        if isinstance(b, Mapping)
+    }
+    regressions: list[str] = []
+    skipped: list[str] = []
+    seen = set()
+    for bench in current.get("benchmarks", ()):
+        if not isinstance(bench, Mapping):
+            continue
+        name = bench.get("name")
+        seen.add(name)
+        base = base_by_name.get(name)
+        if base is None:
+            skipped.append(f"{name}: not in baseline")
+            continue
+        if base.get("config") != bench.get("config"):
+            skipped.append(f"{name}: config differs from baseline")
+            continue
+        base_min = base.get("min_s")
+        cur_min = bench.get("min_s")
+        if not isinstance(base_min, (int, float)) or not isinstance(
+            cur_min, (int, float)
+        ) or base_min <= 0:
+            skipped.append(f"{name}: missing or unusable min_s")
+            continue
+        ratio = cur_min / base_min
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{name}: {cur_min:.6f}s vs baseline {base_min:.6f}s "
+                f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)"
+            )
+    for name in base_by_name:
+        if name not in seen:
+            skipped.append(f"{name}: not in current run")
+    return regressions, skipped

@@ -162,3 +162,54 @@ def test_figure_fabric_pool_timeline_capped_pool_queues_tenants():
     assert max(data["timeline"]["queue_depth"]) >= 1
     waits = [t["wait_s"] for t in data["summary"]["tenants"]]
     assert max(waits) > 0
+
+
+def test_figure_fabric_pool_timeline_three_racks():
+    """The multi-rack view: per-rack timelines, every tenant's background."""
+    data = figures.figure_fabric_pool_timeline(
+        n_tenants=2, workload="Hypre", n_racks=3
+    )
+    assert set(data["timeline"]) == {"rack0", "rack1", "rack2"}
+    for series in data["timeline"].values():
+        lengths = {len(column) for column in series.values()}
+        assert len(lengths) == 1 and lengths.pop() > 0
+    expected = {f"rack{r}-Hypre-{i}" for r in range(3) for i in range(2)}
+    assert set(data["tenant_background_loi"]) == expected
+    for series in data["tenant_background_loi"].values():
+        assert max(series["loi"]) > 0
+    summary = data["summary"]
+    assert summary["n_racks"] == 3
+    assert len(summary["tenants"]) == 6
+    assert summary["mean_slowdown"] > 1.0
+
+
+def test_figure_fabric_pool_timeline_three_racks_spills():
+    """Capped rack pools + a cluster pool: spilled tenants are reported."""
+    lease_bytes = int(0.5 * 2.4e9)
+    data = figures.figure_fabric_pool_timeline(
+        n_tenants=2,
+        workload="Hypre",
+        n_racks=3,
+        pool_capacity_bytes=lease_bytes + 1,
+        cluster_pool_bytes=16 * lease_bytes,
+    )
+    summary = data["summary"]
+    assert summary["spilled_tenants"] == 3
+    spilled = {t["name"] for t in summary["tenants"] if t["spilled"]}
+    assert spilled == {"rack0-Hypre-1", "rack1-Hypre-1", "rack2-Hypre-1"}
+    # Spilled tenants still finished, just slower than their local peers.
+    for tenant in summary["tenants"]:
+        assert tenant["runtime_s"] is not None
+        assert tenant["slowdown"] >= 1.0
+
+
+def test_figure_fabric_pool_timeline_solver_equivalence():
+    """The figure is solver-independent (scalar vs vectorized)."""
+    kwargs = dict(n_tenants=2, workload="Hypre", n_racks=3)
+    vec = figures.figure_fabric_pool_timeline(solver="vectorized", **kwargs)
+    sca = figures.figure_fabric_pool_timeline(solver="scalar", **kwargs)
+    assert vec["summary"]["makespan"] == pytest.approx(
+        sca["summary"]["makespan"], rel=1e-3
+    )
+    assert vec["summary"]["solver"] == "vectorized"
+    assert sca["summary"]["solver"] == "scalar"

@@ -2,12 +2,27 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.config import SKYLAKE_EMULATION
 from repro.sim import ExecutionEngine, Platform
 from repro.workloads import build_workload, workload_names
+
+try:  # hypothesis is an optional test dependency (CI installs it).
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    pass
+else:
+    # Two example budgets for the property suites: the default keeps tier-1
+    # runs fast, the nightly profile (selected with HYPOTHESIS_PROFILE=nightly,
+    # as CI's scheduled job does) digs deeper.  deadline=None because the
+    # engine-backed properties have legitimately long single examples.
+    settings.register_profile("default", max_examples=25, deadline=None)
+    settings.register_profile("nightly", max_examples=200, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

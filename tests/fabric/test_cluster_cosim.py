@@ -1,0 +1,255 @@
+"""Determinism, checkpointing and dirty-rack tracking of the cluster stepper.
+
+Three properties the scheduler integration depends on:
+
+* **Determinism** — two clusters built from the same seed and fed the same
+  admissions produce bit-identical trajectories.
+* **Checkpoint fidelity** — rolling back to a :meth:`ClusterCoSimulator.checkpoint`
+  and re-stepping replays the exact same trajectory (no hidden state
+  survives the rollback).
+* **Dirty-rack tracking** — the epoch-skip optimisation only ever skips
+  racks whose solver inputs did not change; any membership or offset change
+  forces a re-solve, so trajectories with the skip on and off are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import telemetry
+from repro.config.errors import FabricError
+from repro.fabric import ClusterCoSimulator, ClusterFabric, uniform_tenants
+
+GiB = 1024**3
+
+
+@pytest.fixture()
+def telemetry_on():
+    telemetry.enable(reset=True)
+    try:
+        yield telemetry
+    finally:
+        telemetry.disable()
+        telemetry.registry().reset()
+        telemetry.tracer().reset()
+
+
+def build_cluster(
+    n_racks=3,
+    nodes_per_rack=4,
+    seed=0,
+    rack_pool_bytes=None,
+    cluster_pool_bytes=None,
+    **fabric_kwargs,
+):
+    fabric = ClusterFabric(
+        n_racks=n_racks, nodes_per_rack=nodes_per_rack, n_ports=2, **fabric_kwargs
+    )
+    return ClusterCoSimulator(
+        fabric,
+        rack_pool_bytes=rack_pool_bytes,
+        cluster_pool_bytes=cluster_pool_bytes,
+        seed=seed,
+    )
+
+
+def spread_tenants(sim, spec, per_rack=2):
+    """Admit ``per_rack`` tenants into every rack, round-robin over nodes."""
+    tenants = uniform_tenants(spec, per_rack, local_fraction=0.5)
+    for rack in range(sim.fabric.n_racks):
+        for i, tenant in enumerate(tenants):
+            sim.admit(rack, replace(tenant, name=f"r{rack}-{tenant.name}"), node=i)
+    return sim
+
+
+def trajectory(sim, steps=6):
+    """(clock, sorted per-tenant rates) after each of ``steps`` even steps."""
+    dt = sim.horizon() / 2
+    samples = []
+    for _ in range(steps):
+        sim.step(dt)
+        samples.append((sim.clock, tuple(sorted(sim.progress_rates().items()))))
+    return samples
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self, xsbench_spec):
+        runs = []
+        for _ in range(2):
+            sim = spread_tenants(build_cluster(seed=7), xsbench_spec)
+            runs.append(trajectory(sim))
+        assert runs[0] == runs[1]
+
+    def test_same_seed_same_summary(self, xsbench_spec):
+        summaries = []
+        for _ in range(2):
+            sim = spread_tenants(build_cluster(seed=3), xsbench_spec)
+            summaries.append(sim.run_to_completion())
+        assert summaries[0] == summaries[1]
+
+    def test_solver_choice_does_not_change_outcomes(self, xsbench_spec):
+        """Scalar and vectorized clusters agree on who finishes when (within
+        solver tolerance the trajectories coincide on this small cluster)."""
+        finishes = {}
+        for solver in ("scalar", "vectorized"):
+            sim = spread_tenants(build_cluster(solver=solver), xsbench_spec)
+            summary = sim.run_to_completion()
+            finishes[solver] = {
+                t["name"]: pytest.approx(t["runtime_s"], rel=1e-3)
+                for t in summary["tenants"]
+            }
+        assert finishes["scalar"] == finishes["vectorized"]
+
+
+class TestCheckpoint:
+    def test_rollback_replays_bit_identically(self, xsbench_spec):
+        sim = spread_tenants(build_cluster(), xsbench_spec)
+        sim.step(sim.horizon())
+        checkpoint = sim.checkpoint()
+        first = trajectory(sim)
+        sim.rollover(checkpoint)
+        assert sim.clock == checkpoint.clock
+        second = trajectory(sim)
+        assert first == second
+
+    def test_rollback_restores_clock_and_rates(self, xsbench_spec):
+        sim = spread_tenants(build_cluster(), xsbench_spec)
+        checkpoint = sim.checkpoint()
+        rates_before = sim.progress_rates()
+        sim.step(sim.horizon() * 3)
+        sim.rollover(checkpoint)
+        assert sim.clock == checkpoint.clock
+        assert sim.progress_rates() == rates_before
+
+    def test_rollback_rejects_foreign_checkpoint(self, xsbench_spec):
+        small = spread_tenants(build_cluster(n_racks=2), xsbench_spec)
+        large = spread_tenants(build_cluster(n_racks=3), xsbench_spec)
+        with pytest.raises(FabricError, match="rack count"):
+            large.rollover(small.checkpoint())
+
+
+class TestDirtyRackTracking:
+    def test_idle_racks_skip_resolves(self, xsbench_spec, telemetry_on):
+        """Epochs with unchanged demand are served from the cached solve."""
+        sim = spread_tenants(build_cluster(), xsbench_spec)
+        for _ in range(6):
+            sim.step(sim.horizon())
+        skips = telemetry.registry().counter("fabric.cosim.epoch_skips").value
+        assert skips > 0
+
+    def test_membership_change_forces_resolve(self, xsbench_spec, telemetry_on):
+        sim = spread_tenants(build_cluster(), xsbench_spec)
+        for _ in range(3):
+            sim.step(sim.horizon())
+        resolves_before = telemetry.registry().counter(
+            "fabric.cosim.epoch_resolves"
+        ).value
+        name = sim.tenant_names[0]
+        rates_before = sim.progress_rates()
+        sim.withdraw(name)
+        sim.step(sim.horizon())
+        resolves_after = telemetry.registry().counter(
+            "fabric.cosim.epoch_resolves"
+        ).value
+        assert resolves_after > resolves_before
+        # The departed tenant's co-runners must see the change, not a stale
+        # cached solve: their rates may only improve once contention drops.
+        rates_after = sim.progress_rates()
+        assert name not in rates_after
+        for tenant, rate in rates_after.items():
+            assert rate >= rates_before[tenant] - 1e-12
+
+    def test_skip_on_off_trajectories_identical(self, xsbench_spec):
+        runs = []
+        for skip in (True, False):
+            sim = spread_tenants(build_cluster(seed=5), xsbench_spec)
+            for rack_sim in sim.rack_sims:
+                rack_sim.skip_unchanged_epochs = skip
+            samples = trajectory(sim, steps=4)
+            name = sim.tenant_names[0]
+            sim.withdraw(name)
+            samples += trajectory(sim, steps=4)
+            runs.append(samples)
+        assert runs[0] == runs[1]
+
+
+class TestSpill:
+    def test_oversubscribed_rack_spills_to_cluster_pool(self, xsbench_spec):
+        lease_bytes = uniform_tenants(xsbench_spec, 1)[0].lease_bytes
+        sim = build_cluster(
+            n_racks=2,
+            rack_pool_bytes=lease_bytes + 1,
+            cluster_pool_bytes=8 * lease_bytes,
+        )
+        tenants = uniform_tenants(xsbench_spec, 3, local_fraction=0.5)
+        for i, tenant in enumerate(tenants):
+            sim.admit(0, tenant, node=i)
+        assert not sim.is_spilled(tenants[0].name)
+        assert sim.is_spilled(tenants[1].name)
+        assert sim.is_spilled(tenants[2].name)
+        assert sim.cluster_pool.leased_bytes == 2 * lease_bytes
+
+    def test_withdraw_releases_cluster_pool_lease(self, xsbench_spec):
+        lease_bytes = uniform_tenants(xsbench_spec, 1)[0].lease_bytes
+        sim = build_cluster(
+            n_racks=2,
+            rack_pool_bytes=lease_bytes + 1,
+            cluster_pool_bytes=8 * lease_bytes,
+        )
+        tenants = uniform_tenants(xsbench_spec, 2, local_fraction=0.5)
+        for i, tenant in enumerate(tenants):
+            sim.admit(0, tenant, node=i)
+        assert sim.cluster_pool.leased_bytes == lease_bytes
+        sim.withdraw(tenants[1].name)
+        assert sim.cluster_pool.leased_bytes == 0
+        assert not sim.is_spilled(tenants[1].name)
+
+    def test_spilled_tenants_run_slower_than_local(self, xsbench_spec):
+        """Uplink/spine background offsets must cost spilled tenants time."""
+        lease_bytes = uniform_tenants(xsbench_spec, 1)[0].lease_bytes
+        spilled = build_cluster(
+            n_racks=2,
+            rack_pool_bytes=lease_bytes + 1,
+            cluster_pool_bytes=16 * lease_bytes,
+        )
+        local = build_cluster(n_racks=2)
+        tenants = uniform_tenants(xsbench_spec, 3, local_fraction=0.5)
+        for sim in (spilled, local):
+            for i, tenant in enumerate(tenants):
+                sim.admit(0, tenant, node=i)
+        spilled_summary = spilled.run_to_completion()
+        local_summary = local.run_to_completion()
+        assert spilled_summary["spilled_tenants"] == 2
+        assert local_summary["spilled_tenants"] == 0
+        assert spilled_summary["makespan"] >= local_summary["makespan"]
+
+
+class TestValidationAndSummary:
+    def test_fabric_rejects_degenerate_shapes(self):
+        with pytest.raises(FabricError, match="at least one rack"):
+            ClusterFabric(n_racks=0, nodes_per_rack=4)
+        with pytest.raises(FabricError, match="uplink_capacity_scale"):
+            ClusterFabric(n_racks=2, nodes_per_rack=4, uplink_capacity_scale=0.5)
+        with pytest.raises(ValueError, match="unknown solver"):
+            ClusterFabric(n_racks=2, nodes_per_rack=4, solver="simd")
+
+    def test_simulator_rejects_bad_pool_vector(self):
+        fabric = ClusterFabric(n_racks=3, nodes_per_rack=4)
+        with pytest.raises(FabricError, match="3 rack pool capacities"):
+            ClusterCoSimulator(fabric, rack_pool_bytes=[1 * GiB])
+
+    def test_run_to_completion_summary_shape(self, xsbench_spec):
+        sim = spread_tenants(build_cluster(n_racks=2), xsbench_spec)
+        summary = sim.run_to_completion()
+        assert summary["n_racks"] == 2
+        assert summary["solver"] == "vectorized"
+        assert summary["makespan"] > 0
+        assert summary["mean_slowdown"] >= 1.0
+        assert len(summary["tenants"]) == 4
+        for tenant in summary["tenants"]:
+            assert tenant["lease_state"] == "granted"
+            assert tenant["slowdown"] >= 1.0
+        # Everything finished, so the cluster is empty again.
+        assert sim.tenant_names == ()

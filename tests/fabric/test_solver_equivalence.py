@@ -1,0 +1,362 @@
+"""Differential suite holding the fast solver paths to the scalar reference.
+
+The scalar fixed point of :meth:`FabricTopology.resolve_detailed` is the
+ground truth; the vectorized single-rack path, the batched multi-rack path
+(:meth:`ClusterFabric.resolve_all`), the demand-keyed contention cache and
+the incremental stepper's dirty-epoch skip are all *optimisations* of it and
+must stay within solver tolerance of what it computes — including when the
+fixed point does **not** converge, where every path must surface the same
+diagnostics and the same :class:`FabricConvergenceWarning`.
+
+Property-based (hypothesis) where the input space is wide — random demand
+matrices, random tenant churn — with seeded NumPy fallbacks for the
+engine-backed co-simulation scenarios.  ``HYPOTHESIS_PROFILE=nightly``
+raises the example budget (see ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import (
+    ClusterFabric,
+    ContentionCache,
+    FabricConvergenceWarning,
+    FabricTopology,
+    quantize_demands,
+    solve_fixed_point,
+    validate_solver,
+)
+
+#: Solver convergence tolerance used throughout, bytes/s.
+TOLERANCE = 1e6
+#: Allowed disagreement between two solver paths: both are within TOLERANCE
+#: of the fixed point, so they are within 2*TOLERANCE of each other.
+AGREEMENT = 2 * TOLERANCE
+
+GBs = 1e9
+
+
+def demand_maps(max_nodes: int = 12):
+    """Strategy: one rack's demand map (node -> offered bytes/s)."""
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.lists(
+            st.floats(min_value=0.0, max_value=30 * GBs, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        ).map(lambda values: dict(enumerate(values)))
+    )
+
+
+def assert_delivered_close(a, b, limit=AGREEMENT):
+    assert set(a) == set(b)
+    worst = max((abs(a[n] - b[n]) for n in a), default=0.0)
+    assert worst <= limit, f"solver paths disagree by {worst:.3g} bytes/s"
+
+
+# -- single-rack: scalar vs vectorized ------------------------------------------------
+
+
+@given(demands=demand_maps(), n_ports=st.integers(min_value=1, max_value=4))
+def test_vectorized_matches_scalar_single_rack(demands, n_ports):
+    topology = FabricTopology(n_nodes=len(demands), n_ports=min(n_ports, len(demands)))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", FabricConvergenceWarning)
+        scalar = topology.resolve_detailed(demands, solver="scalar")
+        vector = topology.resolve_detailed(demands, solver="vectorized")
+    assert_delivered_close(scalar.delivered, vector.delivered)
+    assert scalar.converged == vector.converged
+    assert scalar.damping == vector.damping
+    assert abs(scalar.iterations - vector.iterations) <= 1
+
+
+@given(demands=demand_maps())
+def test_both_solvers_bound_delivery_by_demand(demands):
+    """Neither path may deliver more than a node offered (after link clipping)."""
+    topology = FabricTopology(n_nodes=len(demands), n_ports=1)
+    limit = topology.testbed.remote_bandwidth
+    for solver in ("scalar", "vectorized"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", FabricConvergenceWarning)
+            diag = topology.resolve_detailed(demands, solver=solver)
+        for node, delivered in diag.delivered.items():
+            assert 0.0 <= delivered <= min(demands[node], limit) + TOLERANCE
+
+
+@given(demand=st.floats(min_value=0.0, max_value=1 * GBs, allow_nan=False))
+def test_both_solvers_deliver_in_full_when_undersubscribed(demand):
+    """A lone, small demand is delivered as offered by both paths."""
+    topology = FabricTopology(n_nodes=4, n_ports=4)
+    for solver in ("scalar", "vectorized"):
+        diag = topology.resolve_detailed({0: demand}, solver=solver)
+        assert diag.converged
+        assert abs(diag.delivered[0] - demand) <= TOLERANCE
+
+
+# -- batched multi-rack: resolve_all --------------------------------------------------
+
+
+@given(
+    racks=st.lists(
+        st.lists(
+            st.floats(min_value=0.0, max_value=30 * GBs, allow_nan=False),
+            min_size=4,
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_batched_matches_scalar_per_rack(racks):
+    fabric = ClusterFabric(n_racks=len(racks), nodes_per_rack=4, n_ports=2)
+    demands = [dict(enumerate(values)) for values in racks]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", FabricConvergenceWarning)
+        scalar = fabric.resolve_all(demands, solver="scalar")
+        batched = fabric.resolve_all(demands, solver="vectorized")
+    assert len(scalar.racks) == len(batched.racks) == len(racks)
+    for ref, fast in zip(scalar.racks, batched.racks):
+        assert_delivered_close(ref.delivered, fast.delivered)
+        # A batched solve keeps iterating converged racks; every rack that
+        # converged alone must still be converged in the batch.
+        if ref.converged:
+            assert fast.converged
+
+
+def test_batched_empty_racks_keep_their_slot():
+    """Racks with no demand still get a (trivial) diagnostics entry."""
+    fabric = ClusterFabric(n_racks=3, nodes_per_rack=4)
+    demands = [{0: 10 * GBs}, {}, {1: 5 * GBs, 2: 5 * GBs}]
+    solve = fabric.resolve_all(demands, solver="vectorized")
+    assert len(solve.racks) == 3
+    assert solve.racks[1].delivered == {}
+    assert solve.racks[1].converged
+    reference = fabric.resolve_all(demands, solver="scalar")
+    for ref, fast in zip(reference.racks, solve.racks):
+        assert_delivered_close(ref.delivered, fast.delivered)
+
+
+# -- non-convergence: same diagnostics, same warning ----------------------------------
+
+
+@pytest.mark.parametrize("solver", ["scalar", "vectorized"])
+def test_nonconvergence_surfaces_warning_and_diagnostics(solver):
+    topology = FabricTopology(n_nodes=8, n_ports=1)
+    demands = {n: topology.testbed.remote_bandwidth for n in range(8)}
+    with pytest.warns(FabricConvergenceWarning):
+        diag = topology.resolve_detailed(demands, iterations=2, solver=solver)
+    assert not diag.converged
+    assert diag.iterations == 2
+    assert diag.residual > TOLERANCE
+
+
+def test_nonconvergence_diagnostics_agree_across_solvers():
+    topology = FabricTopology(n_nodes=8, n_ports=1)
+    demands = {n: topology.testbed.remote_bandwidth for n in range(8)}
+    diags = {}
+    for solver in ("scalar", "vectorized"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", FabricConvergenceWarning)
+            diags[solver] = topology.resolve_detailed(
+                demands, iterations=2, solver=solver
+            )
+    assert diags["scalar"].iterations == diags["vectorized"].iterations
+    assert diags["scalar"].converged == diags["vectorized"].converged
+    assert_delivered_close(diags["scalar"].delivered, diags["vectorized"].delivered)
+    assert np.isclose(
+        diags["scalar"].residual, diags["vectorized"].residual, rtol=1e-6, atol=1.0
+    )
+
+
+def test_batched_nonconvergence_warns_once_with_rack_count():
+    fabric = ClusterFabric(n_racks=3, nodes_per_rack=8, n_ports=1)
+    bandwidth = fabric.testbed.remote_bandwidth
+    demands = [{n: bandwidth for n in range(8)} for _ in range(3)]
+    with pytest.warns(FabricConvergenceWarning, match="3 rack"):
+        solve = fabric.resolve_all(demands, iterations=2, solver="vectorized")
+    assert not solve.converged
+    assert all(not rack.converged for rack in solve.racks)
+
+
+# -- cached path ----------------------------------------------------------------------
+
+
+@given(demands=demand_maps(max_nodes=6))
+def test_cache_hit_matches_fresh_solve(demands):
+    topology = FabricTopology(n_nodes=6, n_ports=2)
+    cache = topology.enable_solver_cache()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", FabricConvergenceWarning)
+        fresh = topology.resolve_detailed(demands)
+        again = topology.resolve_detailed(demands)
+    assert cache.hits >= 1
+    assert again.delivered == fresh.delivered
+    assert again.iterations == fresh.iterations
+    assert again.converged == fresh.converged
+
+
+def test_cache_serves_subquantum_perturbations_within_tolerance():
+    topology = FabricTopology(n_nodes=4, n_ports=1)
+    cache = topology.enable_solver_cache()
+    base = {n: 10 * GBs for n in range(4)}
+    first = topology.resolve_detailed(base)
+    # Perturb well below the cache quantum: the cached allocation is served
+    # and must still be within tolerance of a fresh solve of the perturbed
+    # demands (that is the quantum's contract).
+    perturbed = {n: v + cache.quantum / 8 for n, v in base.items()}
+    served = topology.resolve_detailed(perturbed)
+    assert cache.hits == 1
+    assert served.delivered == first.delivered
+    topology.disable_solver_cache()
+    fresh = topology.resolve_detailed(perturbed)
+    assert_delivered_close(served.delivered, fresh.delivered)
+
+
+def test_cache_hit_reemits_nonconvergence_warning():
+    topology = FabricTopology(n_nodes=8, n_ports=1)
+    topology.enable_solver_cache()
+    demands = {n: topology.testbed.remote_bandwidth for n in range(8)}
+    with pytest.warns(FabricConvergenceWarning):
+        topology.resolve_detailed(demands, iterations=2)
+    with pytest.warns(FabricConvergenceWarning):
+        cached = topology.resolve_detailed(demands, iterations=2)
+    assert not cached.converged
+
+
+def test_cache_is_lru_and_bounded():
+    cache = ContentionCache(maxsize=2)
+    keys = [cache.key({0: float(i) * GBs}, 64, 0.5, TOLERANCE) for i in range(3)]
+    cache.put(keys[0], "a")
+    cache.put(keys[1], "b")
+    assert cache.get(keys[0]) == "a"  # refresh 0 -> 1 is now LRU
+    cache.put(keys[2], "c")
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[0]) == "a"
+    assert len(cache) == 2
+
+
+def test_quantize_demands_is_order_independent():
+    a = quantize_demands({0: 1.0 * GBs, 1: 2.0 * GBs})
+    b = quantize_demands({1: 2.0 * GBs, 0: 1.0 * GBs})
+    assert a == b
+    assert quantize_demands({0: 1.0 * GBs}) != quantize_demands({0: 2.0 * GBs})
+
+
+# -- solve_fixed_point kernel ---------------------------------------------------------
+
+
+def test_solve_fixed_point_empty_input():
+    result = solve_fixed_point(
+        np.array([]),
+        np.array([], dtype=np.intp),
+        capacity=1.0,
+        node_bandwidth=1.0,
+        min_share=0.1,
+        damping=0.5,
+        iterations=64,
+        tolerance=TOLERANCE,
+    )
+    assert result.converged
+    assert result.delivered.size == 0
+
+
+def test_validate_solver_rejects_unknown_names():
+    assert validate_solver("scalar") == "scalar"
+    with pytest.raises(ValueError, match="unknown solver"):
+        validate_solver("simd")
+
+
+# -- incremental stepper: dirty-epoch skip equivalence --------------------------------
+
+
+def _trajectory(sim, steps, dt):
+    """(clock, sorted rates) samples of ``steps`` fixed-size steps."""
+    out = []
+    for _ in range(steps):
+        sim.step(dt)
+        out.append((sim.clock, tuple(sorted(sim.progress_rates().items()))))
+    return out
+
+
+@settings(max_examples=10)
+@given(seed=st.integers(min_value=0, max_value=2**16), churn=st.integers(0, 3))
+def test_incremental_skip_equivalence_under_churn(seed, churn, xsbench_spec):
+    """Same admissions/withdrawals, skip on vs off: bit-identical trajectories."""
+    from dataclasses import replace
+
+    from repro.fabric import RackCoSimulator, uniform_tenants
+
+    rng = np.random.default_rng(seed)
+    tenants = uniform_tenants(xsbench_spec, 3, local_fraction=0.5)
+    plan = []  # (step index, action)
+    for i in range(churn):
+        plan.append((int(rng.integers(0, 8)), i))
+    sims = []
+    for skip in (True, False):
+        sim = RackCoSimulator.incremental(n_nodes=4, seed=0)
+        sim.skip_unchanged_epochs = skip
+        for tenant in tenants:
+            sim.admit(replace(tenant, arrival=0.0))
+        sims.append(sim)
+    dt = sims[0].baseline_runtime_of(tenants[0].name) / 40
+    trajectories = []
+    for sim in sims:
+        withdrawn = set()
+        samples = []
+        for step in range(8):
+            for when, which in plan:
+                name = tenants[which % len(tenants)].name
+                if when == step and name not in withdrawn and name in sim.tenant_states:
+                    sim.withdraw(name)
+                    withdrawn.add(name)
+            sim.step(dt)
+            samples.append((sim.clock, tuple(sorted(sim.progress_rates().items()))))
+        trajectories.append(samples)
+    assert trajectories[0] == trajectories[1]
+
+
+@pytest.mark.slow
+@given(demands=demand_maps(max_nodes=16))
+@settings(max_examples=400)
+def test_vectorized_matches_scalar_high_budget(demands):
+    """Nightly-scale single-rack differential sweep (higher example budget)."""
+    topology = FabricTopology(n_nodes=len(demands), n_ports=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", FabricConvergenceWarning)
+        scalar = topology.resolve_detailed(demands, solver="scalar")
+        vector = topology.resolve_detailed(demands, solver="vectorized")
+    assert_delivered_close(scalar.delivered, vector.delivered)
+    assert scalar.converged == vector.converged
+
+
+@pytest.mark.slow
+def test_hundred_rack_sweep_equivalence_and_speedup():
+    """The acceptance sweep: 100 racks, vectorized >= 5x scalar, same answer."""
+    import time
+
+    fabric = ClusterFabric(n_racks=100, nodes_per_rack=16, n_ports=2)
+    rng = np.random.default_rng(7)
+    demands = [
+        {n: float(rng.uniform(0, 25 * GBs)) for n in range(16)} for _ in range(100)
+    ]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", FabricConvergenceWarning)
+        start = time.perf_counter()
+        scalar = fabric.resolve_all(demands, solver="scalar")
+        scalar_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        batched = fabric.resolve_all(demands, solver="vectorized")
+        vector_wall = time.perf_counter() - start
+    for ref, fast in zip(scalar.racks, batched.racks):
+        assert_delivered_close(ref.delivered, fast.delivered)
+    assert scalar_wall / vector_wall >= 5.0, (
+        f"vectorized sweep only {scalar_wall / vector_wall:.1f}x faster"
+    )

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Repeatable perf harness behind the ``BENCH_cosim.json`` trajectory.
 
-Times the three hot paths every "made it faster" claim must be measured
-against, and the overhead of the telemetry layer itself:
+Times the hot paths every "made it faster" claim must be measured against,
+and the overhead of the telemetry layer itself:
 
 1. ``fabric_solver`` — :meth:`FabricTopology.resolve_detailed` under
    all-nodes-overloaded demand, at small/medium/large rack wirings;
@@ -10,20 +10,32 @@ against, and the overhead of the telemetry layer itself:
    :class:`RackCoSimulator` with co-located tenants;
 3. ``cluster_events`` — :class:`ClusterSimulator` event throughput on a
    synthetic job stream (static progress, no fabric coupling), run once
-   with telemetry disabled and once enabled so both overheads are recorded.
+   with telemetry disabled and once enabled so both overheads are recorded;
+4. ``solver_vectorized`` — the 100-rack contention sweep through
+   :meth:`ClusterFabric.resolve_all`, scalar reference vs batched NumPy
+   (the recorded speedup is the acceptance number of the vectorized path);
+5. ``cluster_fabric`` — epoch stepping of the whole-cluster
+   :class:`ClusterCoSimulator` with tenants in every rack.
 
 The emitted JSON validates against
 :mod:`repro.telemetry.benchjson` (``--check FILE`` re-validates any existing
-document, which is what CI's perf-smoke job and the regression test use).
-``--quick`` shrinks repeat counts and problem sizes for CI smoke runs; the
-committed ``BENCH_cosim.json`` at the repository root is a full run — one
-recorded point of the perf trajectory per PR.
+document, which is what CI's perf-smoke job and the regression test use),
+and ``--compare BASELINE`` additionally diffs the fresh run against a
+committed baseline document, exiting non-zero when a benchmark with an
+identical config regressed past the threshold.  ``--quick`` shrinks repeat
+counts and problem sizes for CI smoke runs — but keeps the configs of the
+``fabric_solver``, ``solver_vectorized`` and ``cluster_fabric`` groups
+identical to a full run, so exactly those groups stay comparable across
+quick and full documents.  The committed ``BENCH_cosim.json`` at the
+repository root is a full run — one recorded point of the perf trajectory
+per PR.
 
 Usage::
 
-    python tools/bench_perf.py --out BENCH_cosim.json          # full run
-    python tools/bench_perf.py --quick --out bench_quick.json  # CI smoke
-    python tools/bench_perf.py --check BENCH_cosim.json        # validate only
+    python tools/bench_perf.py --out BENCH_cosim.json           # full run
+    python tools/bench_perf.py --quick --out bench_quick.json   # CI smoke
+    python tools/bench_perf.py --check BENCH_cosim.json         # validate only
+    python tools/bench_perf.py --quick --compare BENCH_cosim.json
 """
 
 from __future__ import annotations
@@ -35,12 +47,14 @@ import statistics
 import sys
 import time
 import warnings
+from dataclasses import replace
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import telemetry  # noqa: E402
+from repro.fabric.cluster import ClusterCoSimulator, ClusterFabric  # noqa: E402
 from repro.fabric.topology import FabricTopology  # noqa: E402
 from repro.fabric.cosim import RackCoSimulator, uniform_tenants  # noqa: E402
 from repro.scheduler.cluster import Cluster  # noqa: E402
@@ -49,12 +63,21 @@ from repro.scheduler.simulator import ClusterSimulator  # noqa: E402
 from repro.telemetry.benchjson import (  # noqa: E402
     BENCH_SCHEMA,
     BENCH_SCHEMA_VERSION,
+    DEFAULT_REGRESSION_THRESHOLD,
+    compare_bench,
     validate_bench,
 )
 from repro.workloads.registry import build_workload  # noqa: E402
 
 #: Solver rack wirings: (label, nodes, ports).
 SOLVER_CONFIGS = (("small", 4, 1), ("medium", 16, 2), ("large", 64, 4))
+
+#: The 100-rack sweep of the ``solver_vectorized`` group — the acceptance
+#: configuration of the batched solver (identical in quick and full runs so
+#: the recorded speedup is always measured at the same scale).
+SWEEP_RACKS = 100
+SWEEP_NODES = 16
+SWEEP_PORTS = 2
 
 
 def _timeit(fn, repeats: int) -> dict:
@@ -135,6 +158,115 @@ def bench_rack_cosim_step(quick: bool) -> dict:
         "min_s": wall / steps,
         "throughput_per_s": steps / wall if wall > 0 else 0.0,
         "extra": {"wall_s": wall, "simulated_s": steps * epoch},
+    }
+
+
+def bench_solver_vectorized(quick: bool) -> list[dict]:
+    """Scalar vs batched-NumPy cluster contention solving, 100-rack sweep.
+
+    Every node demands its full link (the oversubscribed worst case), and the
+    same demand matrices are resolved through both solver paths.  The
+    vectorized row's ``extra.speedup_vs_scalar`` is the acceptance number:
+    it must stay >= 5.
+    """
+    from repro.fabric.topology import FabricConvergenceWarning
+
+    scalar_repeats = 3 if quick else 10
+    vector_repeats = 10 if quick else 30
+    fabric = ClusterFabric(
+        n_racks=SWEEP_RACKS, nodes_per_rack=SWEEP_NODES, n_ports=SWEEP_PORTS
+    )
+    bandwidth = fabric.testbed.remote_bandwidth
+    demands = [
+        {n: bandwidth for n in range(SWEEP_NODES)} for _ in range(SWEEP_RACKS)
+    ]
+    config = {
+        "n_racks": SWEEP_RACKS,
+        "nodes_per_rack": SWEEP_NODES,
+        "n_ports": SWEEP_PORTS,
+    }
+    rows = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", FabricConvergenceWarning)
+        solve = fabric.resolve_all(demands, solver="vectorized")
+        timings = {
+            solver: _timeit(
+                lambda solver=solver: fabric.resolve_all(demands, solver=solver),
+                repeats,
+            )
+            for solver, repeats in (
+                ("scalar", scalar_repeats),
+                ("vectorized", vector_repeats),
+            )
+        }
+    speedup = (
+        timings["scalar"]["min_s"] / timings["vectorized"]["min_s"]
+        if timings["vectorized"]["min_s"] > 0
+        else 0.0
+    )
+    for solver in ("scalar", "vectorized"):
+        extra = {
+            "iterations": solve.iterations,
+            "converged": solve.converged,
+            "residual_bytes_s": solve.residual,
+        }
+        if solver == "vectorized":
+            extra["speedup_vs_scalar"] = speedup
+        rows.append(
+            {
+                "name": f"solver_vectorized.{solver}",
+                "group": "solver_vectorized",
+                "config": {**config, "solver": solver},
+                **timings[solver],
+                "extra": extra,
+            }
+        )
+    return rows
+
+
+def bench_cluster_fabric(quick: bool) -> dict:
+    """Epoch stepping of the whole-cluster co-simulator, tenants in every rack.
+
+    The cluster wiring (racks, nodes, tenants) is identical in quick and full
+    runs — only the number of timed steps differs — and the recorded
+    ``mean_s`` is per cluster step, so quick and full documents are directly
+    comparable on this group.
+    """
+    n_racks, nodes_per_rack, n_tenants = 6, 4, 4
+    steps = 40 if quick else 200
+    spec = build_workload("XSBench")
+    fabric = ClusterFabric(n_racks=n_racks, nodes_per_rack=nodes_per_rack, n_ports=2)
+    sim = ClusterCoSimulator(fabric, seed=0)
+    tenants = uniform_tenants(spec, n_tenants, local_fraction=0.5)
+    for rack in range(n_racks):
+        for tenant in tenants:
+            sim.admit(rack, replace(tenant, name=f"rack{rack}-{tenant.name}"))
+    # Step one fraction of an epoch at a time, like the rack bench, so every
+    # tenant stays running for the whole measurement.
+    epoch = sim.epoch_seconds / 4
+    start = time.perf_counter()
+    for _ in range(steps):
+        sim.step(epoch)
+    wall = time.perf_counter() - start
+    return {
+        "name": "cluster_fabric",
+        "group": "cluster_fabric",
+        "config": {
+            "n_racks": n_racks,
+            "nodes_per_rack": nodes_per_rack,
+            "n_tenants_per_rack": n_tenants,
+            "workload": spec.name,
+        },
+        "repeats": steps,
+        "mean_s": wall / steps,
+        "min_s": wall / steps,
+        "throughput_per_s": steps / wall if wall > 0 else 0.0,
+        "extra": {
+            "wall_s": wall,
+            "steps": steps,
+            "simulated_s": steps * epoch,
+            "total_tenants": n_racks * n_tenants,
+        },
     }
 
 
@@ -254,6 +386,8 @@ def run_benchmarks(quick: bool) -> dict:
     benchmarks.append(bench_rack_cosim_step(quick))
     cluster_bench, overhead = bench_cluster_events(quick)
     benchmarks.append(cluster_bench)
+    benchmarks.extend(bench_solver_vectorized(quick))
+    benchmarks.append(bench_cluster_fabric(quick))
     return {
         "schema": BENCH_SCHEMA,
         "version": BENCH_SCHEMA_VERSION,
@@ -276,6 +410,20 @@ def main(argv=None) -> int:
         metavar="FILE",
         default=None,
         help="validate an existing bench document instead of measuring",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help="after measuring, diff against BASELINE (a committed bench "
+        "document) and exit non-zero on a perf regression",
+    )
+    parser.add_argument(
+        "--compare-threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        help="relative slowdown tolerated before --compare fails "
+        "(default: %(default)s)",
     )
     args = parser.parse_args(argv)
 
@@ -302,11 +450,37 @@ def main(argv=None) -> int:
     events_per_s = next(
         b["throughput_per_s"] for b in data["benchmarks"] if b["group"] == "cluster_events"
     )
+    speedup = next(
+        b["extra"]["speedup_vs_scalar"]
+        for b in data["benchmarks"]
+        if b["name"] == "solver_vectorized.vectorized"
+    )
     overhead = data["telemetry_overhead"]
     print(f"wrote {args.out}")
     print(f"  cluster events/s: {events_per_s:.0f}")
+    print(f"  vectorized solver speedup (100 racks): {speedup:.1f}x")
     print(f"  telemetry overhead: disabled {overhead['disabled_overhead_pct']:.3f}% "
           f"enabled {overhead['enabled_overhead_pct']:.1f}%")
+
+    if args.compare is not None:
+        with open(args.compare, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        errors = validate_bench(baseline)
+        if errors:
+            for error in errors:
+                print(f"{args.compare}: {error}", file=sys.stderr)
+            return 1
+        regressions, skipped = compare_bench(
+            baseline, data, threshold=args.compare_threshold
+        )
+        for line in skipped:
+            print(f"  compare skipped {line}")
+        if regressions:
+            for line in regressions:
+                print(f"PERF REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"  no perf regressions vs {args.compare} "
+              f"(threshold {args.compare_threshold:.0%})")
     return 0
 
 
