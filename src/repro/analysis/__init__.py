@@ -11,6 +11,7 @@ from .figures import (
     figure11_lbench,
     figure12_bfs_case_study,
     figure13_scheduling,
+    figure_blast_radius,
     figure_fabric_pool_timeline,
 )
 from .report import ALL_EXPERIMENTS, ReportSection, measured_report
@@ -27,6 +28,7 @@ __all__ = [
     "figure11_lbench",
     "figure12_bfs_case_study",
     "figure13_scheduling",
+    "figure_blast_radius",
     "figure_fabric_pool_timeline",
     "ALL_EXPERIMENTS",
     "ReportSection",

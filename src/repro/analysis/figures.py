@@ -334,6 +334,125 @@ def figure_fabric_pool_timeline(
     }
 
 
+def figure_blast_radius(
+    n_tenants: int = 4,
+    workload: str = "Hypre",
+    scale: float = 1.0,
+    local_fraction: float = 0.50,
+    pool_capacity_bytes: Optional[int] = None,
+    n_ports: int = 1,
+    stagger: float = 0.0,
+    seed: int = 0,
+    faults: Optional[Sequence] = None,
+    fault_seed: Optional[int] = None,
+    n_fault_events: int = 4,
+    drain_bytes_per_s: Optional[float] = None,
+    overcommit: bool = False,
+) -> dict:
+    """Blast radius of injected fabric faults (chaos study, fabric extension).
+
+    Runs the same rack co-simulation as :func:`figure_fabric_pool_timeline`
+    twice — once fault-free, once with a :class:`~repro.fabric.faults.
+    FaultSchedule` — and reports the damage side by side: per-tenant stall
+    seconds, revocations, re-admission latencies and migrated bytes
+    (``blast_radius``), the faulted pool/port timeline, and the makespan and
+    slowdown deltas against the clean baseline.  ``faults`` takes explicit
+    :class:`~repro.fabric.faults.FaultEvent`\\ s (or CLI-style spec strings,
+    see :func:`~repro.fabric.faults.parse_fault_spec`); alternatively
+    ``fault_seed`` draws ``n_fault_events`` seeded stochastic port faults
+    over the baseline makespan.  Both paths are fully deterministic given
+    their arguments — see ``docs/failure_model.md``.
+    """
+    from ..fabric import (
+        FabricTopology,
+        FaultSchedule,
+        MemoryPool,
+        RackCoSimulator,
+        parse_fault_spec,
+        uniform_tenants,
+    )
+    from ..workloads.registry import get_model
+
+    spec = get_model(workload).build(scale)
+    tenants = uniform_tenants(
+        spec, n_tenants, local_fraction=local_fraction, stagger=stagger
+    )
+
+    def make_pool() -> Optional[MemoryPool]:
+        if pool_capacity_bytes is None and not overcommit:
+            return None
+        capacity = (
+            pool_capacity_bytes
+            if pool_capacity_bytes is not None
+            else sum(max(t.lease_bytes, 1) for t in tenants)
+        )
+        return MemoryPool(capacity, elastic=overcommit)
+
+    def make_sim() -> RackCoSimulator:
+        return RackCoSimulator(
+            tenants,
+            pool=make_pool(),
+            topology=FabricTopology(n_nodes=n_tenants, n_ports=n_ports),
+            seed=seed,
+        )
+
+    baseline = RackCoSimulator(
+        tenants,
+        pool=(
+            MemoryPool(pool_capacity_bytes)
+            if pool_capacity_bytes is not None
+            else None
+        ),
+        topology=FabricTopology(n_nodes=n_tenants, n_ports=n_ports),
+        seed=seed,
+    ).run()
+
+    if faults is not None:
+        events = [
+            parse_fault_spec(f) if isinstance(f, str) else f for f in faults
+        ]
+        schedule = FaultSchedule(events)
+    elif fault_seed is not None:
+        schedule = FaultSchedule.seeded(
+            seed=fault_seed,
+            horizon=baseline.makespan,
+            n_events=n_fault_events,
+            n_ports=n_ports,
+        )
+    else:
+        schedule = FaultSchedule([])
+
+    sim = make_sim()
+    sim.inject_faults(schedule, drain_bytes_per_s=drain_bytes_per_s)
+    faulted = sim.run()
+    report = faulted.blast_radius
+    return {
+        "schedule": [
+            {
+                "time": e.time,
+                "kind": e.kind,
+                "port": e.port,
+                "tenant": e.tenant,
+                "scale": e.scale,
+                "nbytes": e.nbytes,
+            }
+            for e in schedule.events
+        ],
+        "baseline": {
+            "makespan": baseline.makespan,
+            "mean_slowdown": baseline.mean_slowdown,
+        },
+        "faulted": {
+            "makespan": faulted.makespan,
+            "mean_slowdown": faulted.mean_slowdown,
+        },
+        "makespan_delta": faulted.makespan - baseline.makespan,
+        "blast_radius": report.summary() if report is not None else None,
+        "timeline": faulted.telemetry.series(),
+        "summary": faulted.summary(),
+    }
+
+
 def figure13_scheduling(
     scale: float = 1.0,
     n_runs: int = 100,

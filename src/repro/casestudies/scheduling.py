@@ -249,6 +249,9 @@ class CoupledSchedulingStudy:
         seed: int = 0,
         solver: str = SOLVER_VECTORIZED,
         cluster_pool_gb: float = 0.0,
+        fault_schedule=None,
+        overcommit: bool = False,
+        drain_bytes_per_s: Optional[float] = None,
     ) -> None:
         self.n_racks = n_racks
         self.nodes_per_rack = nodes_per_rack
@@ -261,6 +264,12 @@ class CoupledSchedulingStudy:
         self.seed = seed
         self.solver = solver
         self.cluster_pool_gb = cluster_pool_gb
+        #: Fault schedule injected into the *coupled* leg only: the static
+        #: leg has no fabric to break, which is exactly the comparison the
+        #: chaos study makes (what does the static model miss under faults?).
+        self.fault_schedule = fault_schedule
+        self.overcommit = overcommit
+        self.drain_bytes_per_s = drain_bytes_per_s
 
     def _cluster(self) -> Cluster:
         return Cluster.build(
@@ -325,6 +334,9 @@ class CoupledSchedulingStudy:
             seed=self.seed,
             solver=self.solver,
             cluster_pool_gb=self.cluster_pool_gb,
+            fault_schedule=self.fault_schedule,
+            overcommit=self.overcommit,
+            drain_bytes_per_s=self.drain_bytes_per_s,
         )
         coupled_policy = (
             make_policy(self.policy, progress=progress)

@@ -10,8 +10,12 @@ Sub-commands map directly onto the paper's experiments::
     repro-dmem scheduling --runs 20    # Section 7.2 (reduced run count)
     repro-dmem scheduling --coupled    # rack-scale static vs fabric-coupled
     repro-dmem fabric --tenants 6      # rack co-simulation (Section 7.2 extension)
+    repro-dmem fabric --inject port-kill@5.0:port=0,duration=2.0
+                                       # chaos run: kill a pool port for 2 s
+    repro-dmem fabric --overcommit     # elastic leases (shrink-on-admit)
 
-Reference documentation for every subcommand lives in ``docs/cli.md``.
+Reference documentation for every subcommand lives in ``docs/cli.md``; the
+fault taxonomy behind ``--inject`` is documented in ``docs/failure_model.md``.
 """
 
 from __future__ import annotations
@@ -188,7 +192,30 @@ def cmd_bfs_case_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_schedule_from(args: argparse.Namespace) -> Any:
+    """Build a :class:`FaultSchedule` from repeated ``--inject`` specs (or None).
+
+    Exits with status 2 (via ``SystemExit``) on a malformed spec so callers
+    get an argparse-style diagnostic rather than a traceback.
+    """
+    specs = getattr(args, "inject", None)
+    if not specs:
+        return None
+    from .config.errors import FabricError
+    from .fabric.faults import FaultSchedule, parse_fault_spec
+
+    try:
+        return FaultSchedule(tuple(parse_fault_spec(spec) for spec in specs))
+    except FabricError as exc:
+        print(f"bad --inject spec: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def cmd_scheduling(args: argparse.Namespace) -> int:
+    schedule = _fault_schedule_from(args)
+    if (schedule is not None or args.overcommit) and not args.coupled:
+        print("--inject/--overcommit require --coupled", file=sys.stderr)
+        return 2
     if args.coupled:
         from .casestudies.scheduling import CoupledSchedulingStudy
         from .workloads.registry import build_workload as _build
@@ -205,6 +232,9 @@ def cmd_scheduling(args: argparse.Namespace) -> int:
             seed=args.seed,
             solver=args.solver,
             cluster_pool_gb=args.cluster_pool_gb,
+            fault_schedule=schedule,
+            overcommit=args.overcommit,
+            drain_bytes_per_s=args.drain_gbs * 1e9,
         )
         result = study.run(
             specs=specs,
@@ -231,6 +261,8 @@ def cmd_fabric(args: argparse.Namespace) -> int:
     tenants = uniform_tenants(
         spec, args.tenants, local_fraction=args.local_fraction, stagger=args.stagger
     )
+    schedule = _fault_schedule_from(args)
+    drain = args.drain_gbs * 1e9
     if args.cluster:
         from .fabric import ClusterCoSimulator, ClusterFabric
 
@@ -252,7 +284,10 @@ def cmd_fabric(args: argparse.Namespace) -> int:
             ),
             epoch_seconds=args.epoch_seconds,
             seed=args.seed,
+            overcommit=args.overcommit,
         )
+        if schedule is not None:
+            simulator.inject_faults(schedule, drain_bytes_per_s=drain)
         # Admissions must happen in arrival order (an admission at time t
         # steps the whole cluster to t first).
         admissions = sorted(
@@ -267,7 +302,14 @@ def cmd_fabric(args: argparse.Namespace) -> int:
             simulator.admit(rack, tenant, time=arrival)
         _emit(simulator.run_to_completion(), args.json)
         return 0
-    pool = MemoryPool(int(args.pool_gb * GiB)) if args.pool_gb is not None else None
+    if args.pool_gb is not None:
+        pool = MemoryPool(int(args.pool_gb * GiB), elastic=args.overcommit)
+    elif args.overcommit:
+        # Elasticity only matters when leases contend, so the default
+        # capacity with --overcommit is exactly the sum of all leases.
+        pool = MemoryPool(sum(t.lease_bytes for t in tenants), elastic=True)
+    else:
+        pool = None
     topology = FabricTopology(
         n_nodes=args.tenants,
         n_ports=args.ports,
@@ -281,6 +323,8 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         epoch_seconds=args.epoch_seconds,
         seed=args.seed,
     )
+    if schedule is not None:
+        simulator.inject_faults(schedule, drain_bytes_per_s=drain)
     result = simulator.run()
     output = result.summary()
     if args.timeline:
@@ -302,6 +346,33 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
         return 2
     print(render_report(dump.registry, dump.tracer, top=args.top))
     return 0
+
+
+def _add_fault_args(parser: argparse.ArgumentParser, target: str) -> None:
+    """Attach the shared fault-injection / elasticity flags to a subcommand."""
+    parser.add_argument(
+        "--inject",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="inject a fault into " + target + "; SPEC is KIND@TIME[:key=value,...] "
+        "(e.g. 'port-kill@5.0:port=0,duration=2.5'); repeatable; see "
+        "docs/failure_model.md for the taxonomy",
+    )
+    parser.add_argument(
+        "--overcommit",
+        action="store_true",
+        help="make the memory pool(s) elastic: new leases may shrink running "
+        "tenants down to their floor, charging the modeled page-give-back "
+        "migration cost against their progress",
+    )
+    parser.add_argument(
+        "--drain-gbs",
+        type=float,
+        default=4.0,
+        help="page-give-back drain rate in GB/s used to price migration "
+        "stalls after a shrink or revocation (default 4.0)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -399,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster-level spill pool for the coupled fabric, GiB "
         "(0 disables spilling)",
     )
+    _add_fault_args(p_sched, "the coupled fabric (requires --coupled)")
     p_sched.set_defaults(func=cmd_scheduling)
 
     p_fabric = sub.add_parser(
@@ -464,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="rack uplink capacity as a multiple of one node link "
         "(only with --cluster)",
     )
+    _add_fault_args(p_fabric, "the rack (or every rack with --cluster)")
     p_fabric.set_defaults(func=cmd_fabric)
 
     p_tel = sub.add_parser(

@@ -19,6 +19,14 @@ Above the rack, :mod:`repro.fabric.cluster` composes racks into a
 by a :class:`ClusterCoSimulator`; the batched NumPy contention solver and the
 demand-keyed :class:`ContentionCache` that make it scale live in
 :mod:`repro.fabric.solver`.
+
+Finally, :mod:`repro.fabric.faults` makes the whole stack chaos-testable: a
+deterministic :class:`FaultSchedule` of port-kill / port-degrade /
+lease-revoke / capacity-loss events injected into either co-simulator, elastic
+(overcommitting) pools with modeled page give-back migration costs, and a
+:class:`BlastRadiusReport` quantifying the damage.  The failure model —
+units, determinism and recovery contracts — is documented in
+``docs/failure_model.md``.
 """
 
 from .cluster import (
@@ -37,15 +45,32 @@ from .cosim import (
     TenantSpec,
     uniform_tenants,
 )
+from .faults import (
+    DEFAULT_DRAIN_BYTES_PER_S,
+    FAULT_KINDS,
+    FAULT_LEASE_REVOKE,
+    FAULT_LEASE_SHRINK,
+    FAULT_POOL_CAPACITY_LOSS,
+    FAULT_PORT_DEGRADE,
+    FAULT_PORT_KILL,
+    FAULT_PORT_RESTORE,
+    BlastRadiusReport,
+    FaultEvent,
+    FaultSchedule,
+    TenantImpact,
+    parse_fault_spec,
+)
 from .interference import DynamicInterference
 from .pool import (
     LEASE_GRANTED,
     LEASE_QUEUED,
     LEASE_REJECTED,
     LEASE_RELEASED,
+    LEASE_REVOKED,
     Lease,
     MemoryPool,
     PoolSample,
+    ReclaimRecord,
 )
 from .solver import (
     DEFAULT_CACHE_QUANTUM,
@@ -85,12 +110,27 @@ __all__ = [
     "TenantSpec",
     "uniform_tenants",
     "DynamicInterference",
+    "BlastRadiusReport",
+    "DEFAULT_DRAIN_BYTES_PER_S",
+    "FAULT_KINDS",
+    "FAULT_LEASE_REVOKE",
+    "FAULT_LEASE_SHRINK",
+    "FAULT_POOL_CAPACITY_LOSS",
+    "FAULT_PORT_DEGRADE",
+    "FAULT_PORT_KILL",
+    "FAULT_PORT_RESTORE",
+    "FaultEvent",
+    "FaultSchedule",
+    "TenantImpact",
+    "parse_fault_spec",
     "LEASE_GRANTED",
     "LEASE_QUEUED",
     "LEASE_REJECTED",
     "LEASE_RELEASED",
+    "LEASE_REVOKED",
     "Lease",
     "MemoryPool",
     "PoolSample",
+    "ReclaimRecord",
     "FabricTopology",
 ]

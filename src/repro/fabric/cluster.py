@@ -52,6 +52,7 @@ from ..interconnect.link import RemoteLink
 from ..interconnect.queueing import QueueingModel
 from ..telemetry import metrics, trace_span
 from .cosim import EpochCheckpoint, RackCoSimulator, TenantSpec
+from .faults import BlastRadiusReport, FaultSchedule, TenantImpact
 from .pool import LEASE_GRANTED, LEASE_QUEUED, LEASE_REJECTED, MemoryPool
 from .solver import (
     DEFAULT_CACHE_QUANTUM,
@@ -411,6 +412,11 @@ class ClusterCoSimulator:
         Engine seed shared by all racks; per-tenant baseline profiles are
         cached once across the whole cluster, so admitting the same workload
         to many racks costs one engine run, not ``n_racks``.
+    overcommit:
+        Make every rack pool *elastic*: a lease request that does not fit is
+        granted anyway by shrinking running co-tenants toward their floors,
+        charging them the modeled page give-back migration cost instead of
+        queueing the newcomer (see :mod:`repro.fabric.pool`).
     """
 
     MAX_EPOCHS = 200_000
@@ -422,6 +428,7 @@ class ClusterCoSimulator:
         cluster_pool_bytes: Optional[int] = None,
         epoch_seconds: Optional[float] = None,
         seed: int = 0,
+        overcommit: bool = False,
     ) -> None:
         self.fabric = fabric
         if rack_pool_bytes is None:
@@ -440,7 +447,7 @@ class ClusterCoSimulator:
         self.rack_sims: tuple[RackCoSimulator, ...] = tuple(
             RackCoSimulator.incremental(
                 n_nodes=fabric.nodes_per_rack,
-                pool=MemoryPool(capacities[i], name=f"rack-{i}"),
+                pool=MemoryPool(capacities[i], name=f"rack-{i}", elastic=overcommit),
                 topology=fabric.racks[i],
                 testbed=fabric.testbed,
                 epoch_seconds=epoch_seconds,
@@ -466,6 +473,49 @@ class ClusterCoSimulator:
         self._tenant_rack: dict[str, int] = {}
         self._spilled: dict[str, object] = {}  # tenant name -> cluster-pool Lease
         self._offset_nodes: set[tuple[int, int]] = set()
+        self._fault_schedule: Optional[FaultSchedule] = None
+        #: Impacts of withdrawn tenants, so :meth:`blast_radius` stays
+        #: complete after run_to_completion() retires everyone.
+        self._fault_impacts: list[TenantImpact] = []
+
+    # -- fault injection --------------------------------------------------------------
+
+    def inject_faults(
+        self, schedule: FaultSchedule, drain_bytes_per_s: Optional[float] = None
+    ) -> None:
+        """Arm one fault schedule across the whole cluster.
+
+        Each rack simulator receives the schedule filtered to its own rack
+        index (``FaultEvent.rack``); semantics per rack are exactly
+        :meth:`~repro.fabric.cosim.RackCoSimulator.inject_faults`.  One-shot
+        per cluster; an empty schedule leaves every rack disarmed and the
+        cluster's outputs bit-identical to a fault-free run.
+        """
+        if self._fault_schedule is not None:
+            raise FabricError("a fault schedule is already injected")
+        self._fault_schedule = schedule
+        for i, sim in enumerate(self.rack_sims):
+            sim.inject_faults(schedule, rack=i, drain_bytes_per_s=drain_bytes_per_s)
+
+    def faults_pending(self) -> bool:
+        """True while any rack still has scheduled fault events to fire."""
+        return any(sim.faults_pending() for sim in self.rack_sims)
+
+    def blast_radius(self) -> BlastRadiusReport:
+        """Cluster-wide damage assessment: live tenants plus withdrawn ones."""
+        impacts = {impact.name: impact for impact in self._fault_impacts}
+        for sim in self.rack_sims:
+            for name, state in sim.tenant_states.items():
+                impacts[name] = sim._impact_of(state)
+        return BlastRadiusReport(
+            faults_injected=sum(sim._faults_applied for sim in self.rack_sims),
+            revocations=sum(i.revocations for i in impacts.values()),
+            tenants=tuple(impacts[name] for name in sorted(impacts)),
+        )
+
+    @property
+    def _faults_active(self) -> bool:
+        return any(sim._faults_active for sim in self.rack_sims)
 
     # -- introspection ---------------------------------------------------------------
 
@@ -560,6 +610,8 @@ class ClusterCoSimulator:
         if time is not None and time > self._clock:
             self.step(time - self._clock)
         state = sim.tenant_states.get(name)
+        if state is not None and sim._faults_active:
+            self._fault_impacts.append(sim._impact_of(state))
         sim.withdraw(name)
         del self._tenant_rack[name]
         lease = self._spilled.pop(name, None)
@@ -780,6 +832,41 @@ class ClusterCoSimulator:
                 break
             if finished:
                 continue
+            if (
+                running
+                and self._faults_active
+                and not self.faults_pending()
+                and not any(r > 0.0 for r in self.progress_rates().values())
+                and not any(
+                    s.running and s.migration_debt > 0.0
+                    for sim in self.rack_sims
+                    for s in sim.tenant_states.values()
+                )
+            ):
+                # Fault-stalled forever — e.g. a killed port that is never
+                # restored: record the survivors as unfinished and stop.
+                for name, rack in list(self._tenant_rack.items()):
+                    state = self.rack_sims[rack].tenant_states.get(name)
+                    outcomes.append(
+                        ClusterTenantOutcome(
+                            name=name,
+                            rack=rack,
+                            node=state.node if state is not None else -1,
+                            spilled=name in self._spilled,
+                            lease_state=(
+                                state.lease.state
+                                if state is not None and state.lease is not None
+                                else LEASE_REJECTED
+                            ),
+                            start_time=None,
+                            finish_time=None,
+                            baseline_runtime=(
+                                state.baseline_runtime if state is not None else 0.0
+                            ),
+                        )
+                    )
+                    self.withdraw(name)
+                break
             self.step(self.horizon())
         else:
             raise FabricError(
@@ -787,7 +874,7 @@ class ClusterCoSimulator:
                 f"{self.MAX_EPOCHS} iterations"
             )
         finished_outcomes = [o for o in outcomes if o.finish_time is not None]
-        return {
+        summary = {
             "makespan": max(
                 (o.finish_time for o in finished_outcomes), default=0.0
             ),
@@ -821,3 +908,8 @@ class ClusterCoSimulator:
                 for o in sorted(outcomes, key=lambda o: (o.rack, o.name))
             ],
         }
+        if self._faults_active:
+            # Key is absent on fault-free runs, keeping the pre-fault summary
+            # shape (and its consumers) bit-identical.
+            summary["faults"] = self.blast_radius().summary()
+        return summary

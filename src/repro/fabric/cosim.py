@@ -51,6 +51,16 @@ driven **incrementally** by an external scheduler, one rack per simulator:
   back to such a snapshot so speculative steps — e.g. stepping to an estimated
   completion that an earlier arrival then invalidates — can be re-taken.
   Checkpoints stay valid only while the tenant mix is unchanged.
+* **Faults.**  An injected :class:`~repro.fabric.faults.FaultSchedule`
+  (see :meth:`RackCoSimulator.inject_faults`) fires at exact simulated times:
+  :meth:`step` sub-chunks at fault times, each applied fault forces an epoch
+  rollover (dirtying the solver key), and the damage is summarised by
+  :meth:`RackCoSimulator.blast_radius`.  With no faults injected and a
+  non-elastic pool, the fault layer is one boolean check per step chunk and
+  every output is bit-identical to a fault-free build; rollback across an
+  *applied* fault raises (pool/lease state is not checkpointed), while
+  rollback with faults merely pending is bit-identical as before.  See
+  ``docs/failure_model.md``.
 """
 
 from __future__ import annotations
@@ -67,8 +77,28 @@ from ..sim.perfmodel import PerformanceModel, PhaseInputs
 from ..sim.platform import Platform
 from ..telemetry import TimeSeries, metrics, trace_span
 from ..workloads.base import WorkloadSpec
+from .faults import (
+    DEFAULT_DRAIN_BYTES_PER_S,
+    FAULT_LEASE_REVOKE,
+    FAULT_LEASE_SHRINK,
+    FAULT_POOL_CAPACITY_LOSS,
+    FAULT_PORT_DEGRADE,
+    FAULT_PORT_KILL,
+    FAULT_PORT_RESTORE,
+    BlastRadiusReport,
+    FaultEvent,
+    FaultSchedule,
+    TenantImpact,
+)
 from .interference import DynamicInterference
-from .pool import LEASE_GRANTED, LEASE_QUEUED, LEASE_REJECTED, MemoryPool, PoolSample
+from .pool import (
+    LEASE_GRANTED,
+    LEASE_QUEUED,
+    LEASE_REJECTED,
+    LEASE_REVOKED,
+    MemoryPool,
+    PoolSample,
+)
 from .topology import FabricTopology
 
 
@@ -175,6 +205,23 @@ class _TenantState:
         self.finish_time: Optional[float] = None
         self.background_times: list[float] = []
         self.background_bandwidths: list[float] = []
+        # Fault bookkeeping (all zero/None on the fault-free path).
+        self.stall_seconds = 0.0  # wall time lost to faults
+        self.migration_debt = 0.0  # page give-back drain still owed, wall-seconds
+        self.revoked_at: Optional[float] = None
+        self.readmit_latency: Optional[float] = None
+        self.revocations = 0
+        self.migrated_bytes = 0
+        # A revocation replaces the lease, so the original grant time (the
+        # tenant's true start for wait/runtime accounting) is stashed here.
+        self.first_granted_at: Optional[float] = None
+
+    @property
+    def start_time(self) -> Optional[float]:
+        """Grant time of the tenant's *first* lease (survives revocations)."""
+        if self.first_granted_at is not None:
+            return self.first_granted_at
+        return self.lease.granted_at if self.lease is not None else None
 
     @property
     def finished(self) -> bool:
@@ -346,6 +393,9 @@ class RackCoSimResult:
     max_leased_bytes: int
     epoch_seconds: float
     _interference: dict
+    #: Fault damage assessment; None when the run had no fault schedule and
+    #: no elastic pool (the fault-free fast path).
+    blast_radius: Optional[BlastRadiusReport] = None
 
     @property
     def finished_tenants(self) -> tuple[TenantOutcome, ...]:
@@ -387,7 +437,7 @@ class RackCoSimResult:
 
     def summary(self) -> dict:
         """Aggregate + per-tenant summary (CLI/benchmark friendly)."""
-        return {
+        summary = {
             "makespan": self.makespan,
             "mean_slowdown": self.mean_slowdown,
             "mean_runtime": self.mean_runtime,
@@ -410,6 +460,9 @@ class RackCoSimResult:
                 for t in self.tenants
             ],
         }
+        if self.blast_radius is not None:
+            summary["faults"] = self.blast_radius.summary()
+        return summary
 
 
 @dataclass(frozen=True)
@@ -438,6 +491,17 @@ class EpochCheckpoint:
     #: Signature of the last resolved epoch, for dirty-epoch skip tracking.
     #: Restored on rollback so a stale signature can never cause a wrong skip.
     solve_key: Optional[tuple] = None
+    #: Fault-layer mutation count at snapshot time.  Applying a fault (or
+    #: re-requesting a revoked lease) mutates pool/lease state a checkpoint
+    #: does not capture, so :meth:`RackCoSimulator.rollover` refuses a
+    #: checkpoint whose count no longer matches — rollback is bit-identical
+    #: only while faults are merely *pending*.
+    fault_epoch: int = 0
+    #: (name, stall_seconds, migration_debt, revoked_at, readmit_latency,
+    #: revocations, migrated_bytes, first_granted_at) per tenant; populated
+    #: only once the fault layer is active so fault-free checkpoints are
+    #: unchanged.
+    fault_tenants: tuple = ()
 
 
 class RackCoSimulator:
@@ -561,6 +625,18 @@ class RackCoSimulator:
         #: frozen backgrounds); set to False to force a fresh solve every
         #: epoch, e.g. in differential tests.
         self.skip_unchanged_epochs: bool = True
+        # Fault layer.  `_faults_active` is the single hot-path guard: while
+        # False (no schedule injected, no elastic reclaim ever observed) the
+        # step loop pays one attribute check per chunk and nothing else.
+        self._faults_active = False
+        self._fault_schedule: Optional[FaultSchedule] = None
+        self._fault_events: tuple[FaultEvent, ...] = ()
+        self._fault_cursor = 0
+        self._faults_applied = 0
+        self._fault_mutations = 0
+        #: Residual capacity per degraded port (killed = 0.0); absent = healthy.
+        self._port_scales: dict[int, float] = {}
+        self._drain_bytes_per_s = DEFAULT_DRAIN_BYTES_PER_S
 
     # -- baseline profiling ---------------------------------------------------------
 
@@ -636,6 +712,8 @@ class RackCoSimulator:
     def run(self) -> RackCoSimResult:
         """Co-simulate all tenants to completion (or rejection)."""
         with trace_span("fabric.run", tenants=len(self.tenants)):
+            if self._fault_events or self.pool.elastic:
+                return self._run_chaos()
             return self._run()
 
     def _run(self) -> RackCoSimResult:
@@ -785,6 +863,139 @@ class RackCoSimulator:
             return used
         return None
 
+    def _run_chaos(self) -> RackCoSimResult:
+        """Closed-loop run for faulted or elastic scenarios.
+
+        Drives the incremental API (admit / step / fault application) instead
+        of the fixed-stride epoch loop in :meth:`_run`: faults need
+        exact-time sub-chunking and lease retries that loop cannot express.
+        :meth:`run` switches here automatically whenever a fault schedule was
+        injected or the pool is elastic, so the fault-free non-elastic batch
+        path stays untouched.
+        """
+        if self._inc_states:
+            raise FabricError("run() cannot follow incremental admissions")
+        if self._inc_epoch is None:
+            # Match the batch loop's default epoch: ~1/40 of the longest
+            # baseline runtime across all tenants (profiles are cached, so
+            # the admissions below reuse these runs).
+            longest = 0.0
+            for spec in self.tenants:
+                probe = _TenantState(spec, node=0)
+                self._profile_tenant(probe, self._inc_cache)
+                longest = max(longest, probe.baseline_runtime)
+            self._inc_epoch = max(longest / 40.0, 1e-6)
+        pending = sorted(
+            range(len(self.tenants)), key=lambda i: self.tenants[i].arrival
+        )
+        released: set = set()
+        max_leased = 0
+        for _ in range(self.MAX_EPOCHS):
+            if self._faults_active:
+                self._apply_due_faults()
+            # Admit due arrivals (tenant i runs on node i, as in the batch loop).
+            while (
+                pending
+                and self.tenants[pending[0]].arrival <= self._inc_clock + 1e-12
+            ):
+                idx = pending.pop(0)
+                self.admit(self.tenants[idx], node=idx)
+            max_leased = max(max_leased, self.pool.leased_bytes)
+            # Return leases of tenants that finished, admitting queued ones.
+            freed = False
+            for state in self._inc_states.values():
+                if (
+                    state.finished
+                    and state.spec.name not in released
+                    and state.lease is not None
+                    and state.lease.state in (LEASE_GRANTED, LEASE_QUEUED)
+                ):
+                    self.pool.release(state.lease, time=self._inc_clock)
+                    released.add(state.spec.name)
+                    freed = True
+            if freed:
+                self._rollover_epoch(force=True)
+            states = list(self._inc_states.values())
+            if not pending and states and all(s.finished for s in states):
+                break
+            targets = []
+            if pending:
+                targets.append(self.tenants[pending[0]].arrival)
+            nxt = self._next_fault_time()
+            if nxt is not None:
+                targets.append(nxt)
+            future = [t for t in targets if t > self._inc_clock + 1e-12]
+            moving = any(r > 0 for r in self.progress_rates().values()) or any(
+                s.running and s.migration_debt > 0.0 for s in states
+            )
+            if moving:
+                dt = self.horizon()
+                if future:
+                    dt = min(dt, min(future) - self._inc_clock)
+                self.step(dt)
+                continue
+            if future:
+                # Nothing progresses right now; jump to the next arrival or
+                # fault, whichever changes the world first.
+                self.step(min(future) - self._inc_clock)
+                continue
+            # Nothing moves, nothing arrives, no fault will fire: whoever is
+            # still queued can never be admitted.
+            for state in states:
+                if (
+                    state.lease is not None
+                    and state.lease.state == LEASE_QUEUED
+                    and not state.finished
+                ):
+                    self.pool.release(state.lease, time=self._inc_clock)
+                    state.lease.state = LEASE_REJECTED
+            break
+        else:
+            raise FabricError(
+                f"co-simulation did not terminate within {self.MAX_EPOCHS} epochs"
+            )
+
+        ordered = [self._inc_states[spec.name] for spec in self.tenants]
+        makespan = max((s.finish_time for s in ordered if s.finished), default=0.0)
+        interference = {
+            s.spec.name: DynamicInterference(
+                s.background_times,
+                s.background_bandwidths,
+                link=self.topology.link_of(s.node),
+            )
+            for s in ordered
+            if s.background_times
+        }
+        outcomes = tuple(
+            TenantOutcome(
+                name=s.spec.name,
+                workload=s.spec.workload.name,
+                node=s.node,
+                arrival=s.spec.arrival,
+                start_time=s.start_time,
+                finish_time=s.finish_time,
+                baseline_runtime=s.baseline_runtime,
+                lease_bytes=s.spec.lease_bytes,
+                lease_state=s.lease.state if s.lease is not None else LEASE_REJECTED,
+                mean_background_bandwidth=(
+                    float(np.mean(s.background_bandwidths))
+                    if s.background_bandwidths
+                    else 0.0
+                ),
+            )
+            for s in ordered
+        )
+        return RackCoSimResult(
+            tenants=outcomes,
+            telemetry=self._inc_telemetry,
+            makespan=makespan,
+            pool_capacity_bytes=self.pool.capacity_bytes,
+            max_leased_bytes=max_leased,
+            epoch_seconds=self._inc_epoch,
+            _interference=interference,
+            blast_radius=self.blast_radius(),
+        )
+
     # -- incremental (scheduler-driven) API -------------------------------------------
     #
     # The methods below let an external event loop — the cluster scheduler in
@@ -846,6 +1057,10 @@ class RackCoSimulator:
             self._inc_epoch = max(state.baseline_runtime / 40.0, 1e-6)
         state.lease = self.pool.request(spec.name, spec.lease_bytes, time=self._inc_clock)
         self._inc_states[spec.name] = state
+        if self.pool.elastic:
+            # An overcommitting pool may have shrunk co-tenants to fit the
+            # newcomer; charge those reclaims before re-resolving the epoch.
+            self._consume_pool_reclaims()
         self._rollover_epoch(force=True)
         return state.lease
 
@@ -939,10 +1154,32 @@ class RackCoSimulator:
 
         Rates are exact under the current epoch's frozen backgrounds and the
         tenants' current phases; they stay valid for at most
-        :meth:`horizon` seconds.
+        :meth:`horizon` seconds.  Fault-stalled tenants — revoked lease,
+        killed port, or a migration drain in progress — report an **explicit
+        0.0** rather than being omitted, so coupled schedulers observe the
+        stall instead of falling back to a static estimate.
         """
         rates: dict[str, float] = {}
         for name, state in self._inc_states.items():
+            if self._faults_active and not state.finished:
+                if not state.running and state.revoked_at is not None and (
+                    state.readmit_latency is None
+                ):
+                    # Revoked (or re-queued after revocation): stalled.
+                    rates[name] = 0.0
+                    continue
+                if state.running and (
+                    state.migration_debt > 0.0
+                    or (
+                        self._port_scales
+                        and self._port_scales.get(
+                            self.topology.port_of(state.node), 1.0
+                        )
+                        <= 0.0
+                    )
+                ):
+                    rates[name] = 0.0
+                    continue
             if not state.running or state.phase_index >= len(state.phases):
                 continue
             profile = state.phases[state.phase_index]
@@ -963,8 +1200,18 @@ class RackCoSimulator:
                 "or admit a tenant first"
             )
         bound = max(self._inc_epoch - self._inc_epoch_elapsed, 1e-12)
+        if self._faults_active:
+            nxt = self._next_fault_time()
+            if nxt is not None:
+                bound = min(bound, max(nxt - self._inc_clock, 1e-12))
+            for state in self._inc_states.values():
+                if state.running and state.migration_debt > 0.0:
+                    # The rate flips from 0 back up once the drain finishes.
+                    bound = min(bound, max(state.migration_debt, 1e-12))
         for name, rate in self.progress_rates().items():
             state = self._inc_states[name]
+            if state.phase_index >= len(state.phases):
+                continue
             profile = state.phases[state.phase_index]
             remaining = max(profile.runtime - state.phase_elapsed, 0.0)
             if rate > 0:
@@ -991,22 +1238,62 @@ class RackCoSimulator:
         done = {name: 0.0 for name in self._inc_states}
         remaining = float(dt)
         while remaining > 1e-15:
+            if self._faults_active:
+                self._apply_due_faults()
             if self._inc_epoch is None:
-                # Nothing was ever admitted: time passes, no work happens.
+                # Nothing was ever admitted: time passes, no work happens —
+                # but scheduled faults still fire at their exact times.
+                if self._faults_active:
+                    nxt = self._next_fault_time()
+                    if nxt is not None and nxt <= self._inc_clock + remaining:
+                        advance = max(nxt - self._inc_clock, 0.0)
+                        self._inc_clock += advance
+                        remaining -= advance
+                        self._apply_due_faults()
+                        continue
                 self._inc_clock += remaining
                 return done
             chunk = min(remaining, max(self._inc_epoch - self._inc_epoch_elapsed, 0.0))
+            if self._faults_active:
+                # Sub-chunk at the next fault time so events land exactly.
+                nxt = self._next_fault_time()
+                if nxt is not None:
+                    chunk = min(chunk, max(nxt - self._inc_clock, 0.0))
             if chunk <= 0:
                 self._rollover_epoch()
                 continue
-            for state in [s for s in self._inc_states.values() if s.running]:
-                before = state.completed_baseline_seconds
-                used = self._advance(
-                    state, self._inc_backgrounds.get(state.node, 0.0), chunk
-                )
-                done[state.spec.name] += state.completed_baseline_seconds - before
-                if used is not None and state.finish_time is None:
-                    state.finish_time = self._inc_clock + used
+            if self._faults_active:
+                for state in [s for s in self._inc_states.values() if s.running]:
+                    avail = self._fault_chunk_available(state, chunk)
+                    if avail <= 0.0:
+                        continue
+                    before = state.completed_baseline_seconds
+                    used = self._advance(
+                        state, self._inc_backgrounds.get(state.node, 0.0), avail
+                    )
+                    done[state.spec.name] += state.completed_baseline_seconds - before
+                    if used is not None and state.finish_time is None:
+                        state.finish_time = self._inc_clock + (chunk - avail) + used
+                for state in self._inc_states.values():
+                    # Between revocation and re-grant (the lease is REVOKED or
+                    # back in the queue) the tenant makes no progress: all of
+                    # that wall time is fault-induced stall.
+                    if (
+                        not state.finished
+                        and not state.running
+                        and state.revoked_at is not None
+                        and state.readmit_latency is None
+                    ):
+                        self._record_stall(state, chunk)
+            else:
+                for state in [s for s in self._inc_states.values() if s.running]:
+                    before = state.completed_baseline_seconds
+                    used = self._advance(
+                        state, self._inc_backgrounds.get(state.node, 0.0), chunk
+                    )
+                    done[state.spec.name] += state.completed_baseline_seconds - before
+                    if used is not None and state.finish_time is None:
+                        state.finish_time = self._inc_clock + used
             self._inc_clock += chunk
             self._inc_epoch_elapsed += chunk
             remaining -= chunk
@@ -1029,6 +1316,24 @@ class RackCoSimulator:
             histories=tuple((name, len(s.background_times)) for name, s in ordered),
             offsets=tuple(sorted(self._inc_offsets.items())),
             solve_key=self._inc_solve_key,
+            fault_epoch=self._fault_mutations,
+            fault_tenants=(
+                tuple(
+                    (
+                        name,
+                        s.stall_seconds,
+                        s.migration_debt,
+                        s.revoked_at,
+                        s.readmit_latency,
+                        s.revocations,
+                        s.migrated_bytes,
+                        s.first_granted_at,
+                    )
+                    for name, s in ordered
+                )
+                if self._faults_active
+                else ()
+            ),
         )
 
     def rollover(self, checkpoint: EpochCheckpoint) -> None:
@@ -1047,6 +1352,12 @@ class RackCoSimulator:
                 "checkpoint does not match the current tenant mix; checkpoints "
                 "are invalidated by admit() and withdraw()"
             )
+        if checkpoint.fault_epoch != self._fault_mutations:
+            raise FabricError(
+                "checkpoint predates applied fault events; fault application "
+                "mutates pool and lease state that checkpoints do not capture, "
+                "so rollback is only legal while faults are merely pending"
+            )
         self._inc_clock = checkpoint.clock
         self._inc_epoch_elapsed = checkpoint.epoch_elapsed
         self._inc_backgrounds = dict(checkpoint.backgrounds)
@@ -1057,12 +1368,244 @@ class RackCoSimulator:
             state.phase_index = phase_index
             state.phase_elapsed = phase_elapsed
             state.finish_time = finish_time
+        for entry in checkpoint.fault_tenants:
+            state = self._inc_states[entry[0]]
+            (
+                state.stall_seconds,
+                state.migration_debt,
+                state.revoked_at,
+                state.readmit_latency,
+                state.revocations,
+                state.migrated_bytes,
+                state.first_granted_at,
+            ) = entry[1:]
         for name, length in checkpoint.histories:
             state = self._inc_states[name]
             del state.background_times[length:]
             del state.background_bandwidths[length:]
         self._inc_telemetry.trim_after(checkpoint.clock)
         metrics().counter("fabric.cosim.rollbacks").inc()
+
+    # -- fault injection / elastic leasing --------------------------------------------
+    #
+    # The failure model these methods implement is documented in
+    # ``docs/failure_model.md``.  Everything is inert until a schedule is
+    # injected (or the pool reclaims an elastic lease): the step loop then
+    # pays exactly one boolean check per chunk.
+
+    def inject_faults(
+        self,
+        schedule: FaultSchedule,
+        rack: int = 0,
+        drain_bytes_per_s: Optional[float] = None,
+    ) -> None:
+        """Arm a fault schedule against this rack.
+
+        ``rack`` selects which of the schedule's events apply (a rack
+        simulator inside a cluster passes its own index; standalone racks use
+        the default 0).  ``drain_bytes_per_s`` is the modeled page give-back
+        rate: when a lease is shrunk or revoked, the reclaimed bytes drain
+        back at this rate and the drain time is charged against the tenant's
+        progress as a stall (migration debt).  Faults fire at exact simulated
+        times during :meth:`step` (the step sub-chunks at fault times), and
+        each applied fault forces an epoch rollover so the contention solve
+        reflects the damage immediately.  Injection is one-shot per
+        simulator; an *empty* schedule leaves the fault layer disarmed and
+        every output bit-identical to a fault-free run.
+        """
+        if self._fault_schedule is not None:
+            raise FabricError("a fault schedule is already injected")
+        if not isinstance(schedule, FaultSchedule):
+            raise FabricError("inject_faults() needs a FaultSchedule")
+        if drain_bytes_per_s is not None:
+            if drain_bytes_per_s <= 0:
+                raise FabricError("drain_bytes_per_s must be positive")
+            self._drain_bytes_per_s = float(drain_bytes_per_s)
+        self._fault_schedule = schedule
+        self._fault_events = schedule.events_for_rack(rack)
+        self._fault_cursor = 0
+        if self._fault_events:
+            self._faults_active = True
+
+    def faults_pending(self) -> bool:
+        """True while injected fault events are still waiting to fire."""
+        return self._fault_cursor < len(self._fault_events)
+
+    def _next_fault_time(self) -> Optional[float]:
+        if self._fault_cursor < len(self._fault_events):
+            return self._fault_events[self._fault_cursor].time
+        return None
+
+    def port_health(self, port: int) -> float:
+        """Residual capacity fraction of a pool port: 1.0 healthy, 0.0 killed."""
+        return self._port_scales.get(port, 1.0)
+
+    def _apply_due_faults(self) -> None:
+        """Apply every scheduled event whose simulated time has been reached."""
+        while True:
+            nxt = self._next_fault_time()
+            if nxt is None or nxt > self._inc_clock + 1e-12:
+                return
+            event = self._fault_events[self._fault_cursor]
+            self._fault_cursor += 1
+            self.apply_fault(event)
+
+    def apply_fault(self, event: FaultEvent) -> None:
+        """Apply one fault event at the current clock (scheduled events land
+        here too, so ad-hoc chaos drivers share the exact same semantics).
+
+        Port events retune :meth:`port_health`; lease events act on the named
+        tenant's granted pool lease (an unknown, finished or not-yet-granted
+        tenant is a documented no-op — the fault outlived its target);
+        capacity loss shrinks the pool, reclaiming elastic leases first and
+        revoking the youngest granted leases as a last resort.  Every applied
+        fault bumps the mutation counter — invalidating earlier checkpoints,
+        see :class:`EpochCheckpoint` — and forces an epoch rollover, so the
+        solver key is dirtied and the next solve sees the new world.
+        """
+        self._faults_active = True
+        self._fault_mutations += 1
+        self._faults_applied += 1
+        metrics().counter("fabric.faults.injected").inc()
+        kind = event.kind
+        if kind in (FAULT_PORT_KILL, FAULT_PORT_DEGRADE, FAULT_PORT_RESTORE):
+            if not 0 <= event.port < self.topology.n_ports:
+                raise FabricError(
+                    f"fault targets port {event.port} but the fabric has "
+                    f"{self.topology.n_ports} ports"
+                )
+            if kind == FAULT_PORT_KILL:
+                self._port_scales[event.port] = 0.0
+            elif kind == FAULT_PORT_DEGRADE:
+                self._port_scales[event.port] = float(event.scale)
+            else:
+                self._port_scales.pop(event.port, None)
+        elif kind in (FAULT_LEASE_REVOKE, FAULT_LEASE_SHRINK):
+            state = self._inc_states.get(event.tenant)
+            if state is not None and state.running:
+                if kind == FAULT_LEASE_REVOKE:
+                    self.pool.revoke(state.lease, time=self._inc_clock)
+                else:
+                    self.pool.shrink(
+                        state.lease, int(event.nbytes), time=self._inc_clock
+                    )
+        elif kind == FAULT_POOL_CAPACITY_LOSS:
+            self.pool.lose_capacity(int(event.nbytes), time=self._inc_clock)
+        self._consume_pool_reclaims()
+        self._rollover_epoch(force=True)
+
+    def _consume_pool_reclaims(self) -> None:
+        """Charge pool-side reclaims (shrink / revoke) to their tenants.
+
+        Each reclaimed byte drains back to the pool at the modeled migration
+        rate; the drain time lands on the tenant as migration debt, paid as a
+        stall before any further progress.  The pool's reclaim log is
+        consumed destructively, so every reclaim is charged exactly once.
+        """
+        records = self.pool.consume_reclaims()
+        if not records:
+            return
+        self._faults_active = True
+        registry = metrics()
+        for record in records:
+            state = self._inc_states.get(record.tenant)
+            if state is None:
+                continue
+            state.migration_debt += record.nbytes / self._drain_bytes_per_s
+            state.migrated_bytes += record.nbytes
+            registry.counter("fabric.faults.migrated_bytes").inc(record.nbytes)
+            if record.kind == "revoke":
+                if (
+                    state.first_granted_at is None
+                    and state.lease is not None
+                    and state.lease.granted_at is not None
+                ):
+                    state.first_granted_at = state.lease.granted_at
+                state.revoked_at = record.time
+                state.readmit_latency = None
+                state.revocations += 1
+                registry.counter("fabric.faults.revocations").inc()
+
+    def _retry_revoked(self) -> None:
+        """Re-request the lease of every revoked tenant (back of the queue).
+
+        Runs at each epoch rollover while the fault layer is active: a
+        revoked tenant rejoins the pool's FIFO admission queue and resumes
+        once capacity allows.  The time from revocation to re-grant is its
+        re-admission latency; on an uncontended pool that is 0 and the whole
+        blast radius is the migration drain.
+        """
+        changed = False
+        for name, state in self._inc_states.items():
+            if (
+                state.lease is not None
+                and state.lease.state == LEASE_REVOKED
+                and not state.finished
+            ):
+                state.lease = self.pool.request(
+                    name, state.spec.lease_bytes, time=self._inc_clock
+                )
+                self._fault_mutations += 1
+                changed = True
+        if changed:
+            self._consume_pool_reclaims()
+        for state in self._inc_states.values():
+            if (
+                state.revoked_at is not None
+                and state.readmit_latency is None
+                and state.lease is not None
+                and state.lease.state == LEASE_GRANTED
+                and state.lease.granted_at is not None
+                and state.lease.granted_at >= state.revoked_at
+            ):
+                state.readmit_latency = state.lease.granted_at - state.revoked_at
+                metrics().counter("fabric.faults.readmissions").inc()
+
+    def _record_stall(self, state: _TenantState, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        state.stall_seconds += seconds
+        metrics().counter("fabric.faults.stall_seconds").inc(seconds)
+
+    def _fault_chunk_available(self, state: _TenantState, chunk: float) -> float:
+        """Wall time of ``chunk`` a running tenant can spend on real progress.
+
+        A tenant on a killed port is fully stalled; a tenant owing migration
+        debt pays it down first (stalled while its pages drain) and runs with
+        whatever remains of the chunk.
+        """
+        if self._port_scales and (
+            self._port_scales.get(self.topology.port_of(state.node), 1.0) <= 0.0
+        ):
+            self._record_stall(state, chunk)
+            return 0.0
+        if state.migration_debt > 0.0:
+            pay = min(state.migration_debt, chunk)
+            state.migration_debt -= pay
+            if state.migration_debt < 1e-12:
+                state.migration_debt = 0.0
+            self._record_stall(state, pay)
+            return chunk - pay
+        return chunk
+
+    def _impact_of(self, state: _TenantState) -> TenantImpact:
+        return TenantImpact(
+            name=state.spec.name,
+            stall_seconds=state.stall_seconds,
+            revocations=state.revocations,
+            readmission_latency=state.readmit_latency,
+            migrated_bytes=state.migrated_bytes,
+            throughput_lost=state.stall_seconds,
+        )
+
+    def blast_radius(self) -> BlastRadiusReport:
+        """Damage assessment of the fault layer so far (deterministic)."""
+        states = sorted(self._inc_states.items())
+        return BlastRadiusReport(
+            faults_injected=self._faults_applied,
+            revocations=sum(s.revocations for _, s in states),
+            tenants=tuple(self._impact_of(s) for _, s in states),
+        )
 
     def _state_of(self, name: str) -> _TenantState:
         try:
@@ -1088,12 +1631,29 @@ class RackCoSimulator:
         """
         registry = metrics()
         registry.counter("fabric.cosim.epoch_rollovers").inc()
+        if self._faults_active:
+            self._retry_revoked()
         running = [s for s in self._inc_states.values() if s.running]
-        demands = {s.node: s.current_offered_bandwidth() for s in running}
-        solve_key = (
-            tuple(sorted(demands.items())),
-            tuple(sorted(self._inc_offsets.items())),
-        )
+        if self._port_scales:
+            # Tenants on killed ports demand nothing (they are stalled), and
+            # port health is part of the solve signature so restoring or
+            # degrading a port can never be skipped as "unchanged".
+            demands = {
+                s.node: s.current_offered_bandwidth()
+                for s in running
+                if self._port_scales.get(self.topology.port_of(s.node), 1.0) > 0.0
+            }
+            solve_key: tuple = (
+                tuple(sorted(demands.items())),
+                tuple(sorted(self._inc_offsets.items())),
+                tuple(sorted(self._port_scales.items())),
+            )
+        else:
+            demands = {s.node: s.current_offered_bandwidth() for s in running}
+            solve_key = (
+                tuple(sorted(demands.items())),
+                tuple(sorted(self._inc_offsets.items())),
+            )
         if (
             not force
             and self.skip_unchanged_epochs
@@ -1108,6 +1668,16 @@ class RackCoSimulator:
                 + self._inc_offsets.get(s.node, 0.0)
                 for s in running
             }
+            if self._port_scales:
+                # A degraded port's lost capacity behaves like permanent
+                # background traffic occupying (1 - scale) of the port.
+                for s in running:
+                    port = self.topology.port_of(s.node)
+                    scale = self._port_scales.get(port, 1.0)
+                    if scale < 1.0:
+                        self._inc_backgrounds[s.node] += (
+                            1.0 - scale
+                        ) * self.topology.ports[port].data_capacity
             self._inc_solve_key = solve_key
         self._inc_epoch_elapsed = 0.0
         for state in running:

@@ -18,7 +18,12 @@ There is deliberately no per-rack state here: a timeline is always recorded
 against one tenant's own pool-port link, so the adapter works unchanged at
 cluster scale (:mod:`repro.fabric.cluster`), where spilled tenants' uplink
 and spine contention is already folded into the recorded bandwidths as
-background offsets before they reach this class.
+background offsets before they reach this class.  Fault-driven slowdowns
+(``docs/failure_model.md``) arrive the same way: a degraded port's lost
+capacity is folded into the recorded backgrounds, while full stalls (port
+kills, migration drains) suspend progress in the co-simulator itself and
+therefore never appear as bandwidth samples — a replayed timeline only ever
+describes time the tenant actually spent running.
 """
 
 from __future__ import annotations

@@ -21,6 +21,14 @@ payload**; protocol overhead is applied inside the
 :class:`~repro.interconnect.link.RemoteLink` when traffic and Levels of
 Interference are derived.  Node indices are rack-local (0-based), matching
 the tenant→node mapping of the co-simulator.
+
+Statelessness also carries the failure model: the topology itself is never
+mutated by faults.  A killed or degraded pool port
+(``docs/failure_model.md``) lives entirely in the co-simulator's port-scale
+map — killed ports drop their nodes from the demand vector, degraded ports
+re-enter the resolution as extra background traffic — so once the fault is
+lifted the very next resolve is indistinguishable from a never-faulted one
+(the recovery contract: no residual topology state).
 """
 
 from __future__ import annotations

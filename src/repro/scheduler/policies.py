@@ -198,6 +198,12 @@ class FabricCoupledPlacement:
     whose projected pressure exceeds ``max_port_utilization`` are avoided
     unless no other rack can host the job; falls back to the static LoI
     score when no progress model is attached.
+
+    Because the projection divides by port health (see
+    :meth:`~repro.scheduler.progress.FabricCoupledProgress.
+    projected_port_pressure`), racks with degraded or killed ports read as
+    high-pressure and are avoided automatically when a fault schedule is
+    active — no fault-specific placement logic exists or is needed here.
     """
 
     progress: Optional[object] = None
@@ -241,7 +247,10 @@ class ClusterFabricPlacement:
     places jobs to keep traffic rack-local first and ports calm second.
     Racks whose projected port pressure exceeds ``max_port_utilization`` are
     avoided unless no other rack can host the job; with no progress model
-    attached the port and spill terms fall back to the static hints.
+    attached the port and spill terms fall back to the static hints.  Like
+    :class:`FabricCoupledPlacement`, the port-pressure term divides by port
+    health, so degraded racks are penalised and dead-ported racks avoided
+    automatically under an active fault schedule.
     """
 
     progress: Optional[object] = None

@@ -53,6 +53,7 @@ from ..config.errors import SchedulingError
 from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
 from ..fabric.cluster import ClusterCoSimulator, ClusterFabric
 from ..fabric.cosim import RackCoSimulator, TenantSpec
+from ..fabric.faults import FaultSchedule
 from ..fabric.solver import SOLVER_VECTORIZED
 from ..interconnect.link import RemoteLink
 from ..profiler.level3 import SensitivityCurve
@@ -248,6 +249,19 @@ class FabricCoupledProgress:
         Inter-rack wiring of the underlying
         :class:`~repro.fabric.cluster.ClusterFabric` (only exercised when
         spilling is enabled).
+    fault_schedule:
+        Optional :class:`~repro.fabric.faults.FaultSchedule` injected into
+        the shared cluster co-simulation at construction.  Fault-stalled
+        tenants report an explicit rate of 0 (the scheduler observes the
+        stall, it does not fall back to a static estimate), and placement
+        policies reading :meth:`projected_port_pressure` automatically avoid
+        racks whose ports are degraded or dead.
+    overcommit:
+        Make every mirrored rack pool elastic (see
+        :class:`~repro.fabric.cluster.ClusterCoSimulator`).
+    drain_bytes_per_s:
+        Page give-back migration rate charged on lease shrink/revoke; None
+        keeps :data:`~repro.fabric.faults.DEFAULT_DRAIN_BYTES_PER_S`.
     """
 
     name = "fabric-coupled"
@@ -265,6 +279,9 @@ class FabricCoupledProgress:
         cluster_pool_gb: float = 0.0,
         uplink_capacity_scale: float = 4.0,
         spine_capacity_scale: Optional[float] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
+        overcommit: bool = False,
+        drain_bytes_per_s: Optional[float] = None,
     ) -> None:
         if not 0.0 < local_fraction <= 1.0:
             raise SchedulingError("local_fraction must be in (0, 1]")
@@ -281,6 +298,9 @@ class FabricCoupledProgress:
         self.cluster_pool_gb = float(cluster_pool_gb)
         self.uplink_capacity_scale = float(uplink_capacity_scale)
         self.spine_capacity_scale = spine_capacity_scale
+        self.fault_schedule = fault_schedule
+        self.overcommit = bool(overcommit)
+        self.drain_bytes_per_s = drain_bytes_per_s
         self.cluster: Optional[Cluster] = None
         self._cluster_sim: Optional[ClusterCoSimulator] = None
         self._rack_index: Dict[int, int] = {}
@@ -393,7 +413,12 @@ class FabricCoupledProgress:
                 cluster_pool_bytes=cluster_pool if cluster_pool > 0 else None,
                 epoch_seconds=self.epoch_seconds,
                 seed=self.seed,
+                overcommit=self.overcommit,
             )
+            if self.fault_schedule is not None:
+                self._cluster_sim.inject_faults(
+                    self.fault_schedule, drain_bytes_per_s=self.drain_bytes_per_s
+                )
             self._rack_index = {
                 rack.rack_id: index for index, rack in enumerate(racks)
             }
@@ -424,6 +449,14 @@ class FabricCoupledProgress:
         co-simulated tenants, not submission-time hints — plus the prospective
         job's hungriest-phase demand on the port it would be wired to.  Used
         by :class:`~repro.scheduler.policies.FabricCoupledPlacement`.
+
+        Port faults are priced in: each port's utilisation is divided by its
+        residual health (:meth:`~repro.fabric.cosim.RackCoSimulator.
+        port_health`), so a degraded port reads proportionally hotter and a
+        killed port reads as effectively infinite pressure — placement
+        policies with a utilisation ceiling avoid faulted racks with no
+        fault-specific logic of their own.  On healthy ports the divisor is
+        exactly 1.0, leaving fault-free pressure values bit-identical.
         """
         sim = self.rack_simulator(rack)
         demands = dict(sim.current_demands())
@@ -436,6 +469,7 @@ class FabricCoupledProgress:
         demands[probe_node] = demands.get(probe_node, 0.0) + sim.peak_offered_bandwidth(spec)
         return max(
             sim.topology.port_utilization(port, demands)
+            / max(sim.port_health(port), 1e-9)
             for port in range(sim.topology.n_ports)
         )
 

@@ -7,7 +7,7 @@ PR, and CI's perf-smoke job validates every freshly emitted document against
 PRs, and diffs it against the committed baseline with :func:`compare_bench`
 so a perf regression fails the job instead of silently entering the record.
 
-Document shape (version 2)::
+Document shape (version 3)::
 
     {
       "schema": "repro.bench.cosim",
@@ -32,9 +32,12 @@ Document shape (version 2)::
 
 Version 2 added the cluster-scale groups (``cluster_fabric`` — epoch
 stepping of the whole-cluster co-simulator — and ``solver_vectorized`` —
-batched NumPy vs scalar contention solving at 100 racks); version-1
-documents remain readable (they must only cover the version-1 groups), so
-the committed trajectory stays comparable across the schema bump.
+batched NumPy vs scalar contention solving at 100 racks).  Version 3 added
+``fault_injection`` — the disabled-path cost of the fault layer (its
+``extra.disabled_overhead_pct`` is the < 2% acceptance bound of
+``docs/failure_model.md``) plus a seeded chaos scenario.  Older documents
+remain readable (each version must only cover its own groups), so the
+committed trajectory stays comparable across schema bumps.
 
 Every benchmark group of a document's version must be present so a missing
 measurement is a schema error, not a silently shorter file.
@@ -45,15 +48,22 @@ from __future__ import annotations
 from typing import Mapping
 
 BENCH_SCHEMA = "repro.bench.cosim"
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: Groups a valid document must cover, per schema version (the acceptance
 #: surface of the harness).
 REQUIRED_GROUPS_V1 = ("fabric_solver", "rack_cosim_step", "cluster_events")
-REQUIRED_GROUPS = REQUIRED_GROUPS_V1 + ("cluster_fabric", "solver_vectorized")
+REQUIRED_GROUPS_V2 = REQUIRED_GROUPS_V1 + ("cluster_fabric", "solver_vectorized")
+REQUIRED_GROUPS = REQUIRED_GROUPS_V2 + ("fault_injection",)
+
+REQUIRED_GROUPS_BY_VERSION = {
+    1: REQUIRED_GROUPS_V1,
+    2: REQUIRED_GROUPS_V2,
+    3: REQUIRED_GROUPS,
+}
 
 #: Schema versions :func:`validate_bench` accepts.
-SUPPORTED_VERSIONS = (1, BENCH_SCHEMA_VERSION)
+SUPPORTED_VERSIONS = (1, 2, BENCH_SCHEMA_VERSION)
 
 _BENCH_KEYS = ("name", "group", "config", "repeats", "mean_s", "min_s", "throughput_per_s")
 _OVERHEAD_KEYS = (
@@ -100,7 +110,7 @@ def validate_bench(data: Mapping) -> list[str]:
             value = bench.get(key)
             if isinstance(value, (int, float)) and value < 0:
                 errors.append(f"benchmarks[{i}].{key} is negative")
-    required = REQUIRED_GROUPS_V1 if version == 1 else REQUIRED_GROUPS
+    required = REQUIRED_GROUPS_BY_VERSION.get(version, REQUIRED_GROUPS)
     for group in required:
         if group not in groups:
             errors.append(f"no benchmark covers required group {group!r}")

@@ -24,7 +24,7 @@ def _load_checker():
 
 class TestIntraRepoLinks:
     def test_docs_exist(self):
-        for name in ("architecture.md", "cli.md", "benchmarks.md"):
+        for name in ("architecture.md", "cli.md", "benchmarks.md", "failure_model.md"):
             assert (ROOT / "docs" / name).exists(), f"docs/{name} is missing"
 
     def test_no_broken_relative_links(self):
@@ -52,6 +52,16 @@ class TestCliReferenceSnippets:
             optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
         )
         assert tests > 0, "docs/cli.md contains no runnable snippets"
+        assert failures == 0
+
+    def test_failure_model_md_doctests_pass(self):
+        """The failure-model page's worked blast-radius example reproduces."""
+        failures, tests = doctest.testfile(
+            str(ROOT / "docs" / "failure_model.md"),
+            module_relative=False,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        )
+        assert tests > 0, "docs/failure_model.md contains no runnable snippets"
         assert failures == 0
 
     def test_every_subcommand_is_documented(self):

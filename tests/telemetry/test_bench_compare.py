@@ -2,8 +2,8 @@
 
 Two synthetic documents (a baseline and a current run) exercise every
 comparator outcome: clean pass, regression, config-mismatch skip, one-sided
-skips, unusable statistics and the threshold edge — plus the version-2
-schema split of :func:`validate_bench` the comparator relies on.
+skips, unusable statistics and the threshold edge — plus the versioned
+schema split (v1/v2/v3) of :func:`validate_bench` the comparator relies on.
 """
 
 from __future__ import annotations
@@ -16,6 +16,7 @@ from repro.telemetry.benchjson import (
     DEFAULT_REGRESSION_THRESHOLD,
     REQUIRED_GROUPS,
     REQUIRED_GROUPS_V1,
+    REQUIRED_GROUPS_V2,
     SUPPORTED_VERSIONS,
     compare_bench,
     validate_bench,
@@ -154,17 +155,23 @@ class TestSchemaVersions:
     def _rows(self, groups):
         return [bench_row(f"{g}.case", 0.010) for g in groups]
 
-    def test_v2_document_requires_cluster_groups(self):
-        errors = validate_bench(document(self._rows(REQUIRED_GROUPS_V1)))
+    def test_v3_document_requires_fault_injection_group(self):
+        errors = validate_bench(document(self._rows(REQUIRED_GROUPS_V2)))
+        assert any("fault_injection" in e for e in errors)
+        assert validate_bench(document(self._rows(REQUIRED_GROUPS))) == []
+
+    def test_v2_document_stays_valid_without_fault_group(self):
+        doc = document(self._rows(REQUIRED_GROUPS_V2), version=2)
+        assert validate_bench(doc) == []
+        errors = validate_bench(document(self._rows(REQUIRED_GROUPS_V1), version=2))
         assert any("cluster_fabric" in e for e in errors)
         assert any("solver_vectorized" in e for e in errors)
-        assert validate_bench(document(self._rows(REQUIRED_GROUPS))) == []
 
     def test_v1_document_stays_valid_without_cluster_groups(self):
         doc = document(self._rows(REQUIRED_GROUPS_V1), version=1)
         assert validate_bench(doc) == []
 
     def test_unsupported_version_rejected(self):
-        doc = document(self._rows(REQUIRED_GROUPS), version=3)
+        doc = document(self._rows(REQUIRED_GROUPS), version=4)
         assert any("version" in e for e in validate_bench(doc))
-        assert 3 not in SUPPORTED_VERSIONS
+        assert 4 not in SUPPORTED_VERSIONS

@@ -15,7 +15,10 @@ and the overhead of the telemetry layer itself:
    :meth:`ClusterFabric.resolve_all`, scalar reference vs batched NumPy
    (the recorded speedup is the acceptance number of the vectorized path);
 5. ``cluster_fabric`` — epoch stepping of the whole-cluster
-   :class:`ClusterCoSimulator` with tenants in every rack.
+   :class:`ClusterCoSimulator` with tenants in every rack;
+6. ``fault_injection`` — the fault layer's disabled-path cost on the epoch
+   loop (its ``extra.disabled_overhead_pct`` is the < 2% acceptance bound
+   of ``docs/failure_model.md``) plus a seeded chaos scenario.
 
 The emitted JSON validates against
 :mod:`repro.telemetry.benchjson` (``--check FILE`` re-validates any existing
@@ -55,6 +58,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import telemetry  # noqa: E402
 from repro.fabric.cluster import ClusterCoSimulator, ClusterFabric  # noqa: E402
+from repro.fabric.faults import FaultSchedule  # noqa: E402
 from repro.fabric.topology import FabricTopology  # noqa: E402
 from repro.fabric.cosim import RackCoSimulator, uniform_tenants  # noqa: E402
 from repro.scheduler.cluster import Cluster  # noqa: E402
@@ -270,6 +274,109 @@ def bench_cluster_fabric(quick: bool) -> dict:
     }
 
 
+def bench_fault_injection(quick: bool) -> list[dict]:
+    """Cost of the fault layer: disabled-path overhead + a seeded chaos run.
+
+    * ``fault_injection.disabled_check`` — with no faults injected the fault
+      layer's hot-path cost is one ``_faults_active`` boolean check per step
+      chunk.  The row times the same epoch loop as ``rack_cosim_step`` with
+      the layer disarmed, measures the per-check cost standalone, and records
+      ``extra.disabled_overhead_pct`` = checks x cost / wall time — the
+      < 2% acceptance bound of ``docs/failure_model.md``.
+    * ``fault_injection.seeded_chaos`` — wall time of a batch chaos run under
+      a seeded port-fault schedule; the blast radius goes into ``extra`` so
+      the scenario's determinism is visible in the trajectory.  The scenario
+      config is identical in quick and full runs (only repeats differ), so
+      the two document kinds stay comparable on this row.
+    """
+    n_tenants = 4
+    steps = 60 if quick else 300
+    spec = build_workload("XSBench")
+    tenants = uniform_tenants(spec, n_tenants, local_fraction=0.5)
+    sim = RackCoSimulator.incremental(n_nodes=n_tenants)
+    for tenant in tenants:
+        sim.admit(tenant)
+    epoch = sim.baseline_runtime_of(tenants[0].name) / (steps * 4)
+    start = time.perf_counter()
+    for _ in range(steps):
+        sim.step(epoch)
+    step_wall = time.perf_counter() - start
+
+    # Price of the disarmed guard, measured standalone.
+    loops = 50_000 if quick else 200_000
+    armed = False
+    start = time.perf_counter()
+    for _ in range(loops):
+        if sim._faults_active:
+            armed = True
+    check_ns = (time.perf_counter() - start) / loops * 1e9
+    assert not armed
+    disabled_overhead_pct = steps * check_ns / (step_wall * 1e9) * 100.0
+
+    rows = [
+        {
+            "name": "fault_injection.disabled_check",
+            "group": "fault_injection",
+            "config": {
+                "n_tenants": n_tenants,
+                "workload": spec.name,
+                "steps": steps,
+                "faults": "none",
+            },
+            "repeats": steps,
+            "mean_s": step_wall / steps,
+            "min_s": step_wall / steps,
+            "throughput_per_s": steps / step_wall if step_wall > 0 else 0.0,
+            "extra": {
+                "check_ns": check_ns,
+                "checks_per_run": steps,
+                "disabled_overhead_pct": disabled_overhead_pct,
+            },
+        }
+    ]
+
+    schedule = FaultSchedule.seeded(
+        seed=0,
+        horizon=20.0,
+        n_events=4,
+        kinds=("port-kill", "port-degrade"),
+        n_ports=1,
+    )
+    repeats = 3 if quick else 10
+
+    def chaos_run():
+        chaos = RackCoSimulator(
+            uniform_tenants(spec, n_tenants, local_fraction=0.5), seed=0
+        )
+        chaos.inject_faults(schedule)
+        return chaos.run()
+
+    result = chaos_run()
+    timing = _timeit(chaos_run, repeats)
+    report = result.blast_radius
+    rows.append(
+        {
+            "name": "fault_injection.seeded_chaos",
+            "group": "fault_injection",
+            "config": {
+                "n_tenants": n_tenants,
+                "workload": spec.name,
+                "fault_seed": 0,
+                "n_events": 4,
+                "kinds": "port-kill,port-degrade",
+            },
+            **timing,
+            "extra": {
+                "faults_injected": report.faults_injected,
+                "stalled_tenants": len(report.stalled_tenants),
+                "total_stall_seconds": report.total_stall_seconds,
+                "makespan_s": result.makespan,
+            },
+        }
+    )
+    return rows
+
+
 def _synthetic_jobs(n_jobs: int) -> tuple[list[JobProfile], list[float]]:
     """A deterministic job stream exercising placement, waiting and retiring."""
     profiles = []
@@ -388,6 +495,7 @@ def run_benchmarks(quick: bool) -> dict:
     benchmarks.append(cluster_bench)
     benchmarks.extend(bench_solver_vectorized(quick))
     benchmarks.append(bench_cluster_fabric(quick))
+    benchmarks.extend(bench_fault_injection(quick))
     return {
         "schema": BENCH_SCHEMA,
         "version": BENCH_SCHEMA_VERSION,
@@ -461,6 +569,12 @@ def main(argv=None) -> int:
     print(f"  vectorized solver speedup (100 racks): {speedup:.1f}x")
     print(f"  telemetry overhead: disabled {overhead['disabled_overhead_pct']:.3f}% "
           f"enabled {overhead['enabled_overhead_pct']:.1f}%")
+    fault_pct = next(
+        b["extra"]["disabled_overhead_pct"]
+        for b in data["benchmarks"]
+        if b["name"] == "fault_injection.disabled_check"
+    )
+    print(f"  fault layer disabled overhead: {fault_pct:.3f}%")
 
     if args.compare is not None:
         with open(args.compare, "r", encoding="utf-8") as fh:
