@@ -8,6 +8,7 @@ concurrently).
 
 from repro.config.units import GiB
 from repro.fabric import MemoryPool, RackCoSimulator, uniform_tenants
+from repro.parallel import SweepRunner
 from repro.workloads import build_workload
 
 
@@ -16,32 +17,40 @@ TENANT_COUNTS = (1, 2, 4, 6, 8)
 POOL_FACTORS = (None, 4, 2)
 
 
-def run_sweep(workload="Hypre", scale=1.0):
+def run_point(workload, scale, factor, tenants):
+    """One sweep point: a full rack co-simulation, returned as a plain row.
+
+    Module-level and keyword-driven so :class:`repro.parallel.SweepRunner`
+    can pickle it into worker processes and fingerprint its parameters.
+    """
     spec = build_workload(workload, scale)
     lease = uniform_tenants(spec, 1)[0].lease_bytes
-    rows = []
-    for factor in POOL_FACTORS:
-        for n in TENANT_COUNTS:
-            pool = None
-            if factor is not None:
-                pool = MemoryPool(min(factor, n) * lease + 1)
-            result = RackCoSimulator(uniform_tenants(spec, n), pool=pool).run()
-            rows.append(
-                {
-                    "pool": "unbounded" if factor is None else f"{factor}x-lease",
-                    "tenants": n,
-                    "mean_runtime": result.mean_runtime,
-                    "mean_slowdown": result.mean_slowdown,
-                    "mean_wait": float(
-                        sum(t.wait_time for t in result.finished_tenants)
-                        / max(len(result.finished_tenants), 1)
-                    ),
-                    "makespan": result.makespan,
-                    "max_leased_gb": result.max_leased_bytes / GiB,
-                    "pool_gb": result.pool_capacity_bytes / GiB,
-                }
-            )
-    return rows
+    pool = None
+    if factor is not None:
+        pool = MemoryPool(min(factor, tenants) * lease + 1)
+    result = RackCoSimulator(uniform_tenants(spec, tenants), pool=pool).run()
+    return {
+        "pool": "unbounded" if factor is None else f"{factor}x-lease",
+        "tenants": tenants,
+        "mean_runtime": result.mean_runtime,
+        "mean_slowdown": result.mean_slowdown,
+        "mean_wait": float(
+            sum(t.wait_time for t in result.finished_tenants)
+            / max(len(result.finished_tenants), 1)
+        ),
+        "makespan": result.makespan,
+        "max_leased_gb": result.max_leased_bytes / GiB,
+        "pool_gb": result.pool_capacity_bytes / GiB,
+    }
+
+
+def run_sweep(workload="Hypre", scale=1.0, jobs=1):
+    points = [
+        {"workload": workload, "scale": scale, "factor": factor, "tenants": n}
+        for factor in POOL_FACTORS
+        for n in TENANT_COUNTS
+    ]
+    return SweepRunner(jobs=jobs).map(run_point, points, seed_param=None)
 
 
 def test_fabric_cosim_sweep(benchmark, once, capsys):

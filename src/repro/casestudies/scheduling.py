@@ -156,11 +156,33 @@ class SchedulingCaseStudy:
             aware=outcomes["interference-aware"],
         )
 
-    def run(self, specs: Optional[Sequence[WorkloadSpec]] = None) -> SchedulingCaseStudyResult:
-        """Run the case study for all (or the given) workloads."""
+    def run(
+        self,
+        specs: Optional[Sequence[WorkloadSpec]] = None,
+        jobs: int = 1,
+    ) -> SchedulingCaseStudyResult:
+        """Run the case study for all (or the given) workloads.
+
+        ``jobs > 1`` shards the per-workload studies over worker processes
+        via :class:`repro.parallel.SweepRunner`; results are bit-identical to
+        the serial run (each workload's study is seeded by ``self.seed``,
+        independent of sharding).
+        """
+        from ..parallel import SweepRunner
+
         specs = list(specs) if specs is not None else build_all(1.0)
-        results = tuple(self.study_workload(spec) for spec in specs)
-        return SchedulingCaseStudyResult(results=results)
+        runner = SweepRunner(jobs=jobs, base_seed=self.seed)
+        results = runner.map(
+            _study_workload_task,
+            [{"study": self, "spec": spec} for spec in specs],
+            seed_param=None,
+        )
+        return SchedulingCaseStudyResult(results=tuple(results))
+
+
+def _study_workload_task(study: SchedulingCaseStudy, spec: WorkloadSpec):
+    """Picklable sweep task: one workload's 100-repetition comparison."""
+    return study.study_workload(spec)
 
 
 # ---------------------------------------------------------------------------
@@ -350,3 +372,31 @@ class CoupledSchedulingStudy:
             progress=progress,
         ).run(profiles, arrivals=arrivals)
         return CoupledSchedulingResult(static=static_outcome, coupled=coupled_outcome)
+
+    @classmethod
+    def sweep(
+        cls,
+        param_sets: Sequence[dict],
+        jobs: int = 1,
+        base_seed: int = 0,
+    ) -> list[dict]:
+        """Run one study per parameter dict, sharded over ``jobs`` processes.
+
+        Each dict holds :class:`CoupledSchedulingStudy` constructor kwargs
+        plus an optional ``"run"`` sub-dict forwarded to :meth:`run`; each
+        point returns its :meth:`CoupledSchedulingResult.summary`.  Points
+        without an explicit ``seed`` get a deterministic one derived from
+        ``base_seed`` and the point's own configuration, so results do not
+        depend on sweep order or worker count.  Repeated configurations are
+        fingerprint-memoized and solved once.
+        """
+        from ..parallel import SweepRunner
+
+        runner = SweepRunner(jobs=jobs, base_seed=base_seed)
+        return runner.map(run_coupled_study, param_sets)
+
+
+def run_coupled_study(seed: int = 0, run: Optional[dict] = None, **config) -> dict:
+    """Picklable sweep task: one coupled-scheduling study, summarised."""
+    study = CoupledSchedulingStudy(seed=seed, **config)
+    return study.run(**(run or {})).summary()

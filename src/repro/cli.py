@@ -245,7 +245,7 @@ def cmd_scheduling(args: argparse.Namespace) -> int:
         _emit(result.summary(), args.json)
         return 0
     study = SchedulingCaseStudy(n_runs=args.runs, seed=args.seed)
-    result = study.run()
+    result = study.run(jobs=args.jobs)
     _emit({r.workload: r.summary() for r in result.results}, args.json)
     return 0
 
@@ -383,6 +383,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for parameter sweeps (commands that sweep "
+        "shard their runs over N processes; results are bit-identical to "
+        "a serial run)",
+    )
     parser.add_argument(
         "--telemetry",
         action="store_true",

@@ -228,16 +228,29 @@ class ClusterFabric:
                 converged=all(d.converged for d in diags),
                 residual=max(d.residual for d in diags),
             )
-        return self._resolve_all_vectorized(demands, iterations, damping, tolerance)
+        return self.resolve_racks(
+            range(self.n_racks), demands, iterations, damping, tolerance
+        )
 
-    def _resolve_all_vectorized(
+    def resolve_racks(
         self,
+        indices: Sequence[int],
         demands: Sequence[Mapping[int, float]],
-        iterations: int,
-        damping: Optional[float],
-        tolerance: float,
+        iterations: int = 64,
+        damping: Optional[float] = None,
+        tolerance: float = 1e6,
     ) -> ClusterSolve:
-        """One batched NumPy solve across all racks' demand maps."""
+        """One batched NumPy solve across a subset of racks' demand maps.
+
+        ``demands[i]`` belongs to rack ``indices[i]``; the returned
+        :class:`ClusterSolve` carries diagnostics in the same order.  This is
+        the kernel behind both :meth:`resolve_all` (all racks) and the
+        cluster stepper's batched epoch rollover (dirty racks only).
+        """
+        if len(demands) != len(indices):
+            raise FabricError(
+                f"expected {len(indices)} demand maps, got {len(demands)}"
+            )
         if damping is not None and not 0.0 < damping <= 1.0:
             raise FabricError("damping must be in (0, 1]")
         nodes_per_rack: list[list[int]] = []
@@ -249,7 +262,8 @@ class ClusterFabric:
         rack_dampings: list[float] = []
         slices: list[tuple[int, int]] = []
         port_offset = 0
-        for rack, rack_demands in zip(self.racks, demands):
+        for index, rack_demands in zip(indices, demands):
+            rack = self.rack(index)
             nodes = list(rack_demands)
             rack_damping = damping
             if rack_damping is None:
@@ -279,7 +293,7 @@ class ClusterFabric:
         registry = metrics()
         registry.counter("fabric.cluster.solve.calls").inc()
         with trace_span(
-            "fabric.cluster.solve", racks=self.n_racks, nodes=len(offered)
+            "fabric.cluster.solve", racks=len(slices), nodes=len(offered)
         ):
             result = solve_fixed_point(
                 np.asarray(offered),
@@ -467,6 +481,12 @@ class ClusterCoSimulator:
             else None
         )
         self.seed = int(seed)
+        #: Stepping-path override: None (default) picks the fused batched
+        #: epoch path whenever ``fabric.solver == "vectorized"``; True/False
+        #: force it on/off (the ``cluster_step_batched`` bench uses False to
+        #: time the per-rack reference loop under the same solver kernel).
+        #: Faults always force the per-rack path regardless.
+        self.batched_stepping: Optional[bool] = None
         self._clock = 0.0
         self._epoch: Optional[float] = epoch_seconds
         self._epoch_elapsed = 0.0
@@ -632,6 +652,19 @@ class ClusterCoSimulator:
         backgrounds of spilled tenants) is refreshed from the racks' live
         demands.  Returns baseline-seconds completed per tenant, merged
         across racks.
+
+        With ``solver="vectorized"`` (the default) and no fault schedule
+        armed, racks advance through the **fused batched epoch path**: every
+        rack's intra-epoch progress runs through
+        :meth:`~repro.fabric.cosim.RackCoSimulator.step_frozen` and all dirty
+        racks' epoch re-solves batch into one
+        :meth:`ClusterFabric.resolve_racks` call at the boundary, instead of
+        ``n_racks`` independent ``RackCoSimulator.step`` calls each running
+        its own solve.  ``solver="scalar"`` keeps the original per-rack loop
+        as the reference path (the ``cluster_step_batched`` bench group and
+        the batched-equivalence tests hold the two together); a cluster with
+        faults armed always uses the per-rack path, whose sub-chunk
+        scheduling lands fault events at their exact times.
         """
         if dt < 0:
             raise FabricError("cannot step the cluster backwards")
@@ -647,6 +680,7 @@ class ClusterCoSimulator:
                         sim.step(remaining)
                     self._clock += remaining
                     return done
+                batched = self._batched_stepping
                 chunk = min(
                     remaining, max(self._epoch - self._epoch_elapsed, 0.0)
                 )
@@ -654,9 +688,12 @@ class ClusterCoSimulator:
                     self._rollover_cluster_epoch()
                     continue
                 for sim in self.rack_sims:
-                    for name, amount in sim.step(chunk).items():
-                        if amount:
-                            done[name] = done.get(name, 0.0) + amount
+                    if batched:
+                        self._step_rack_frozen(sim, chunk, done)
+                    else:
+                        for name, amount in sim.step(chunk).items():
+                            if amount:
+                                done[name] = done.get(name, 0.0) + amount
                 self._clock += chunk
                 self._epoch_elapsed += chunk
                 remaining -= chunk
@@ -664,10 +701,85 @@ class ClusterCoSimulator:
                     self._rollover_cluster_epoch()
         return done
 
+    @property
+    def _batched_stepping(self) -> bool:
+        """Whether the fused batched epoch path is usable right now."""
+        if self.batched_stepping is not None:
+            return bool(self.batched_stepping) and not self._faults_active
+        return self.fabric.solver == SOLVER_VECTORIZED and not self._faults_active
+
+    def _step_rack_frozen(
+        self, sim: RackCoSimulator, chunk: float, done: dict[str, float]
+    ) -> None:
+        """Advance one rack ``chunk`` seconds on the frozen-background path.
+
+        In the common case (rack epochs aligned with the cluster epoch) this
+        is a single :meth:`~repro.fabric.cosim.RackCoSimulator.step_frozen`
+        call and the rack's rollover happens batched at the cluster boundary.
+        A rack whose epoch phase drifted from the cluster's (a mid-epoch
+        admission or withdrawal forces a rack rollover, restarting its epoch)
+        rolls itself over mid-chunk exactly where :meth:`~repro.fabric.cosim.
+        RackCoSimulator.step` would — those transitional solves run per-rack,
+        and the rack re-enters the batch once its boundary realigns.
+        """
+        remaining = float(chunk)
+        while remaining > 1e-15:
+            if sim._inc_epoch is None:
+                sim.step_frozen(remaining)
+                return
+            sub = min(
+                remaining, max(sim._inc_epoch - sim._inc_epoch_elapsed, 0.0)
+            )
+            if sub <= 0:
+                sim._rollover_epoch()
+                continue
+            for name, amount in sim.step_frozen(sub).items():
+                if amount:
+                    done[name] = done.get(name, 0.0) + amount
+            remaining -= sub
+            if remaining > 1e-15 and sim.epoch_due():
+                sim._rollover_epoch()
+
     def _rollover_cluster_epoch(self) -> None:
         metrics().counter("fabric.cluster.epochs").inc()
+        if self._batched_stepping:
+            self._rollover_racks_batched()
         self._epoch_elapsed = 0.0
         self._recouple()
+
+    def _rollover_racks_batched(self) -> None:
+        """Roll every due rack's epoch with one batched contention solve.
+
+        Mirrors :meth:`~repro.fabric.cosim.RackCoSimulator._rollover_epoch`
+        exactly — same dirty-rack skip keyed on the solve signature, same
+        telemetry counters, same history bookkeeping — except that the dirty
+        racks' fixed-point solves run as one vectorized batch instead of one
+        solve per rack.
+        """
+        registry = metrics()
+        dirty: list[tuple[RackCoSimulator, list, tuple]] = []
+        dirty_indices: list[int] = []
+        dirty_demands: list[dict[int, float]] = []
+        due: list[tuple[RackCoSimulator, list, dict[int, float]]] = []
+        for index, sim in enumerate(self.rack_sims):
+            if not sim.epoch_due():
+                continue
+            registry.counter("fabric.cosim.epoch_rollovers").inc()
+            running, demands, solve_key = sim._epoch_demands()
+            if sim.skip_unchanged_epochs and solve_key == sim._inc_solve_key:
+                registry.counter("fabric.cosim.epoch_skips").inc()
+            else:
+                registry.counter("fabric.cosim.epoch_resolves").inc()
+                dirty.append((sim, running, solve_key))
+                dirty_indices.append(index)
+                dirty_demands.append(demands)
+            due.append((sim, running, demands))
+        if dirty:
+            solve = self.fabric.resolve_racks(dirty_indices, dirty_demands)
+            for (sim, running, solve_key), diag in zip(dirty, solve.racks):
+                sim._apply_epoch_solve(running, diag.delivered, solve_key)
+        for sim, running, demands in due:
+            sim._complete_rollover(running, demands)
 
     def _recouple(self) -> None:
         """Refresh spilled tenants' uplink/spine background offsets.
@@ -676,7 +788,15 @@ class ClusterCoSimulator:
         unchanged rack demands, so calling it on admission, withdrawal and
         every cluster epoch boundary keeps the offsets exact without
         disturbing the racks' dirty-epoch tracking more than necessary.
+
+        A cluster that never spills pays (almost) nothing here: with no
+        spilled tenants and no stale offsets to clear, every offset below
+        would compute to its current value, so the walk exits up front —
+        ``fabric.cluster.recouples`` counts only the recouples that actually
+        walked.
         """
+        if not self._spilled and not self._offset_nodes:
+            return
         metrics().counter("fabric.cluster.recouples").inc()
         uplink_traffic = [0.0] * self.fabric.n_racks
         spilled_nodes: list[tuple[int, int, float]] = []

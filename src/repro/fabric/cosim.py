@@ -1301,6 +1301,59 @@ class RackCoSimulator:
                 self._rollover_epoch()
         return done
 
+    def step_frozen(self, dt: float) -> dict[str, float]:
+        """Advance ``dt`` wall-seconds under the current frozen backgrounds.
+
+        The fused inner kernel of the cluster's batched epoch path: exactly
+        the fault-free body of :meth:`step` for one intra-epoch chunk, with
+        the epoch rollover lifted out — the caller (a
+        :class:`~repro.fabric.cluster.ClusterCoSimulator`) rolls all racks
+        over centrally so their re-solves batch into one vectorized call.
+        ``dt`` must therefore not cross this rack's epoch boundary, and the
+        fault layer must be disarmed (a faulted rack needs the sub-chunk
+        fault scheduling of :meth:`step`).
+        """
+        if dt < 0:
+            raise FabricError("cannot step the co-simulation backwards")
+        if self._faults_active:
+            raise FabricError(
+                "step_frozen cannot run with the fault layer armed; "
+                "use step() for faulted racks"
+            )
+        registry = metrics()
+        registry.counter("fabric.cosim.step_calls").inc()
+        registry.counter("fabric.cosim.stepped_seconds").inc(dt)
+        done = {name: 0.0 for name in self._inc_states}
+        if dt <= 1e-15:
+            return done
+        if self._inc_epoch is None:
+            # Nothing was ever admitted: time passes, no work happens.
+            self._inc_clock += dt
+            return done
+        if dt > max(self._inc_epoch - self._inc_epoch_elapsed, 0.0) + 1e-12:
+            raise FabricError(
+                "step_frozen cannot cross an epoch boundary; roll the epoch "
+                "over first"
+            )
+        for state in [s for s in self._inc_states.values() if s.running]:
+            before = state.completed_baseline_seconds
+            used = self._advance(
+                state, self._inc_backgrounds.get(state.node, 0.0), dt
+            )
+            done[state.spec.name] += state.completed_baseline_seconds - before
+            if used is not None and state.finish_time is None:
+                state.finish_time = self._inc_clock + used
+        self._inc_clock += dt
+        self._inc_epoch_elapsed += dt
+        return done
+
+    def epoch_due(self) -> bool:
+        """Whether the current epoch has fully elapsed (a rollover is due)."""
+        return (
+            self._inc_epoch is not None
+            and self._inc_epoch_elapsed >= self._inc_epoch - 1e-12
+        )
+
     def checkpoint(self) -> EpochCheckpoint:
         """Snapshot the epoch state for a later :meth:`rollover`."""
         metrics().counter("fabric.cosim.checkpoints").inc()
@@ -1633,6 +1686,30 @@ class RackCoSimulator:
         registry.counter("fabric.cosim.epoch_rollovers").inc()
         if self._faults_active:
             self._retry_revoked()
+        running, demands, solve_key = self._epoch_demands()
+        if (
+            not force
+            and self.skip_unchanged_epochs
+            and solve_key == self._inc_solve_key
+        ):
+            registry.counter("fabric.cosim.epoch_skips").inc()
+        else:
+            registry.counter("fabric.cosim.epoch_resolves").inc()
+            delivered = self.topology.resolve(demands) if demands else {}
+            self._apply_epoch_solve(running, delivered, solve_key)
+        self._complete_rollover(running, demands)
+
+    def _epoch_demands(
+        self,
+    ) -> tuple[list[_TenantState], dict[int, float], tuple]:
+        """The running tenants, their demand vector and its solve signature.
+
+        The first of the three pieces :meth:`_rollover_epoch` is made of;
+        split out so :class:`~repro.fabric.cluster.ClusterCoSimulator` can
+        collect every rack's demands, batch the dirty ones through one
+        vectorized solve, and finish each rack with the exact same
+        bookkeeping as a self-driven rollover.
+        """
         running = [s for s in self._inc_states.values() if s.running]
         if self._port_scales:
             # Tenants on killed ports demand nothing (they are stalled), and
@@ -1654,31 +1731,36 @@ class RackCoSimulator:
                 tuple(sorted(demands.items())),
                 tuple(sorted(self._inc_offsets.items())),
             )
-        if (
-            not force
-            and self.skip_unchanged_epochs
-            and solve_key == self._inc_solve_key
-        ):
-            registry.counter("fabric.cosim.epoch_skips").inc()
-        else:
-            registry.counter("fabric.cosim.epoch_resolves").inc()
-            delivered = self.topology.resolve(demands) if demands else {}
-            self._inc_backgrounds = {
-                s.node: self.topology.background_for(s.node, delivered)
-                + self._inc_offsets.get(s.node, 0.0)
-                for s in running
-            }
-            if self._port_scales:
-                # A degraded port's lost capacity behaves like permanent
-                # background traffic occupying (1 - scale) of the port.
-                for s in running:
-                    port = self.topology.port_of(s.node)
-                    scale = self._port_scales.get(port, 1.0)
-                    if scale < 1.0:
-                        self._inc_backgrounds[s.node] += (
-                            1.0 - scale
-                        ) * self.topology.ports[port].data_capacity
-            self._inc_solve_key = solve_key
+        return running, demands, solve_key
+
+    def _apply_epoch_solve(
+        self,
+        running: list[_TenantState],
+        delivered: Mapping[int, float],
+        solve_key: tuple,
+    ) -> None:
+        """Freeze new epoch backgrounds from a resolved allocation."""
+        self._inc_backgrounds = {
+            s.node: self.topology.background_for(s.node, delivered)
+            + self._inc_offsets.get(s.node, 0.0)
+            for s in running
+        }
+        if self._port_scales:
+            # A degraded port's lost capacity behaves like permanent
+            # background traffic occupying (1 - scale) of the port.
+            for s in running:
+                port = self.topology.port_of(s.node)
+                scale = self._port_scales.get(port, 1.0)
+                if scale < 1.0:
+                    self._inc_backgrounds[s.node] += (
+                        1.0 - scale
+                    ) * self.topology.ports[port].data_capacity
+        self._inc_solve_key = solve_key
+
+    def _complete_rollover(
+        self, running: list[_TenantState], demands: Mapping[int, float]
+    ) -> None:
+        """Restart the epoch and record background history + telemetry."""
         self._inc_epoch_elapsed = 0.0
         for state in running:
             background = self._inc_backgrounds[state.node]

@@ -47,6 +47,18 @@ SOLVERS = (SOLVER_SCALAR, SOLVER_VECTORIZED)
 #: matters on the modelled fabrics.
 DEFAULT_CACHE_QUANTUM = 16e6
 
+#: Adaptive damping backoff: every ``BACKOFF_WINDOW`` iterations the solver
+#: checks whether the residual has at least halved (``BACKOFF_IMPROVEMENT``)
+#: since the previous window boundary.  A stalled residual means the
+#: iteration is contracting too slowly (typically every node clamped to the
+#: min-share floor, where the update is a pure geometric decay at rate
+#: ``1 - damping``), so the solver halves the *retained* fraction —
+#: ``damping ← 1 − (1 − damping) / 2`` — and continues.  Both the scalar
+#: reference and this vectorized kernel apply the identical rule, keeping
+#: the differential equivalence suite meaningful.
+BACKOFF_WINDOW = 8
+BACKOFF_IMPROVEMENT = 0.5
+
 
 @dataclass(frozen=True)
 class FixedPointResult:
@@ -95,8 +107,11 @@ def solve_fixed_point(
         Fraction of the capacity always left available (the link model's
         deadlock guard).
     damping:
-        Fixed-point damping in (0, 1], scalar or per-entry (a batched solve
-        uses each rack's own sharing-degree-derived damping).
+        Initial fixed-point damping in (0, 1], scalar or per-entry (a
+        batched solve uses each rack's own sharing-degree-derived damping).
+        When the residual stalls across a :data:`BACKOFF_WINDOW` the solver
+        adaptively moves the damping toward 1 (see the backoff constants);
+        the reported diagnostics keep the initial value.
     iterations / tolerance:
         Iteration budget and convergence threshold in bytes/s.
     """
@@ -123,6 +138,7 @@ def solve_fixed_point(
     residual = 0.0
     delta = np.zeros_like(delivered)
     used = 0
+    window_residual: float | None = None
     for _ in range(max(int(iterations), 1)):
         used += 1
         port_total = np.bincount(port_index, weights=delivered, minlength=n_ports)
@@ -139,6 +155,10 @@ def solve_fixed_point(
         if residual < tolerance:
             converged = True
             break
+        if used % BACKOFF_WINDOW == 0:
+            if window_residual is not None and residual > BACKOFF_IMPROVEMENT * window_residual:
+                damping = 1.0 - 0.5 * (1.0 - damping)
+            window_residual = residual
     return FixedPointResult(
         delivered=delivered,
         iterations=used,

@@ -45,6 +45,8 @@ from ..interconnect.link import LinkShare, RemoteLink
 from ..interconnect.queueing import QueueingModel
 from ..telemetry import metrics, trace_span
 from .solver import (
+    BACKOFF_IMPROVEMENT,
+    BACKOFF_WINDOW,
     DEFAULT_CACHE_QUANTUM,
     SOLVER_SCALAR,
     SOLVER_VECTORIZED,
@@ -315,13 +317,16 @@ class FabricTopology:
         damping: float,
         tolerance: float,
     ) -> tuple[dict[int, float], int, bool, float]:
-        """The original pure-Python fixed point — kept verbatim as the
-        reference implementation the differential test suite checks the
-        vectorized path against."""
+        """The pure-Python fixed point — the reference implementation the
+        differential test suite checks the vectorized path against.  Applies
+        the same adaptive damping backoff as
+        :func:`repro.fabric.solver.solve_fixed_point` (the two rules must
+        never drift, or the equivalence suite loses its meaning)."""
         delivered = {n: self._node_demand(n, demands) for n in demands}
         max_delta = 0.0
         converged = False
         used = 0
+        window_residual: float | None = None
         for _ in range(max(int(iterations), 1)):
             used += 1
             max_delta = 0.0
@@ -342,6 +347,13 @@ class FabricTopology:
             if max_delta < tolerance:
                 converged = True
                 break
+            if used % BACKOFF_WINDOW == 0:
+                if (
+                    window_residual is not None
+                    and max_delta > BACKOFF_IMPROVEMENT * window_residual
+                ):
+                    damping = 1.0 - 0.5 * (1.0 - damping)
+                window_residual = max_delta
         return delivered, used, converged, max_delta
 
     def _solve_vectorized(

@@ -1,0 +1,258 @@
+"""Process-sharded sweep engine (``repro.parallel``).
+
+Parameter sweeps — the co-simulation benchmark grids, the scheduling case
+studies, ``tools/bench_perf.py`` — are embarrassingly parallel at the run
+level but were executed serially in one process.  :class:`SweepRunner`
+shards them over a :class:`concurrent.futures.ProcessPoolExecutor` while
+preserving three contracts:
+
+**Determinism / seeding.**  Every sweep point gets a seed derived from the
+runner's ``base_seed`` and the point's own parameters (not its position or
+its worker), so results are a pure function of ``(base_seed, params)``:
+re-ordering the sweep, changing ``jobs``, or re-running yields bit-identical
+results.  A caller-supplied seed is never overridden — derivation only fills
+``seed_param`` when it is absent or ``None``.
+
+**Fingerprint memoization.**  Each task is keyed by a SHA-256 fingerprint of
+``task-name + resolved parameters`` (topology, workload and policy config all
+land in the parameters).  The runner memoizes results by fingerprint across
+:meth:`SweepRunner.map` calls and deduplicates repeats *within* a batch, so
+a grid that revisits a configuration solves it once.  This prefigures the
+ROADMAP's memoized what-if service: the fingerprint is the cache key a
+persistent service would use.
+
+**Telemetry merge.**  Every task body — inline or in a worker — runs inside
+:func:`repro.telemetry.isolated`, so it records into a private registry whose
+snapshot ships back with the result.  The parent folds the snapshots into its
+own registry with :meth:`~repro.telemetry.MetricsRegistry.merge` in
+*submission order*, making merged counters independent of worker scheduling.
+Memoized hits do **not** re-merge telemetry: counters reflect work actually
+performed.  Spans are not shipped (wall-clock durations are inherently
+nondeterministic across processes).
+
+Task functions must be picklable — module-level functions, or bound methods
+of picklable instances.  ``jobs=1`` bypasses the executor but runs the exact
+same :func:`_execute` wrapper inline, which is what makes sharded-vs-serial
+bit-identity testable rather than aspirational.
+
+The full sharding model is documented in ``docs/parallelism.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from .. import telemetry
+
+__all__ = [
+    "SweepRunner",
+    "derive_seed",
+    "fingerprint",
+    "task_name",
+]
+
+
+def task_name(fn: Callable) -> str:
+    """Stable ``module:qualname`` identifier of a task function."""
+    return f"{getattr(fn, '__module__', '?')}:{getattr(fn, '__qualname__', repr(fn))}"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to deterministic plain data for fingerprinting.
+
+    Dataclasses and plain objects are flattened to ``class name + fields`` so
+    that two equal configurations fingerprint identically regardless of
+    object identity; mappings are key-sorted.  The fallback is ``repr``,
+    which is only reached for exotic values a sweep should not key on.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [_canonical(item) for item in items]
+    if is_dataclass(value) and not isinstance(value, type):
+        record = {f.name: _canonical(getattr(value, f.name)) for f in fields(value)}
+        record["__class__"] = type(value).__qualname__
+        return record
+    if hasattr(value, "__dict__"):
+        record = {k: _canonical(v) for k, v in sorted(vars(value).items())}
+        record["__class__"] = type(value).__qualname__
+        return record
+    return repr(value)
+
+
+def fingerprint(fn: Callable, params: Mapping[str, Any]) -> str:
+    """SHA-256 fingerprint of one sweep point: task identity + parameters.
+
+    The memoization key: topology, workload and policy configuration all
+    arrive through ``params``, so two points with the same fingerprint are
+    the same simulation and may share one result.
+    """
+    payload = {"task": task_name(fn), "params": _canonical(dict(params))}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def derive_seed(base_seed: int, fn: Callable, params: Mapping[str, Any]) -> int:
+    """Deterministic per-point seed from the base seed and the point itself.
+
+    Position-independent by construction: the seed depends on *what* runs,
+    not where in the sweep (or on which worker) it runs, so shuffling the
+    parameter grid cannot change any individual result.
+    """
+    payload = {
+        "base_seed": int(base_seed),
+        "task": task_name(fn),
+        "params": _canonical(dict(params)),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass
+class _TaskPayload:
+    """One picklable unit of sweep work shipped to (or run like) a worker."""
+
+    fn: Callable
+    kwargs: dict
+    record: bool
+    index: int
+
+
+def _execute(payload: _TaskPayload) -> tuple[int, Any, dict]:
+    """Run one sweep task inside an isolated telemetry scope.
+
+    The single execution path for both the inline ``jobs=1`` mode and the
+    process-pool workers — identical wrapping is the bit-identity contract.
+    Returns ``(index, result, telemetry snapshot)``.
+    """
+    with telemetry.isolated(payload.record) as registry:
+        result = payload.fn(**payload.kwargs)
+        snapshot = registry.snapshot()
+    return payload.index, result, snapshot
+
+
+class SweepRunner:
+    """Shard a parameter sweep over worker processes, or run it inline.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) executes inline through the
+        same wrapper the workers use; results are bit-identical either way.
+    base_seed:
+        Root of the deterministic per-point seed derivation.
+    memoize:
+        Reuse results for repeated fingerprints (within and across
+        :meth:`map` calls on this runner).
+    record_telemetry:
+        Recording flag forced inside each task's isolated scope.  ``None``
+        (default) propagates the parent's current
+        :func:`repro.telemetry.enabled` state at :meth:`map` time — workers
+        are fresh processes and would otherwise default to off.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        base_seed: int = 0,
+        memoize: bool = True,
+        record_telemetry: Optional[bool] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.base_seed = int(base_seed)
+        self.memoize = memoize
+        self.record_telemetry = record_telemetry
+        self._memo: dict[str, Any] = {}
+
+    # -- parameter resolution ---------------------------------------------------------
+
+    def resolve(
+        self,
+        fn: Callable,
+        params: Mapping[str, Any],
+        seed_param: Optional[str] = "seed",
+    ) -> dict:
+        """One point's final kwargs: caller params plus the derived seed.
+
+        The seed is injected only when ``seed_param`` names a parameter the
+        caller left absent or ``None``; pass ``seed_param=None`` for task
+        functions that take no seed.
+        """
+        kwargs = dict(params)
+        if seed_param is not None and kwargs.get(seed_param) is None:
+            kwargs[seed_param] = derive_seed(self.base_seed, fn, params)
+        return kwargs
+
+    # -- execution --------------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable,
+        param_sets: Sequence[Mapping[str, Any]],
+        seed_param: Optional[str] = "seed",
+    ) -> list:
+        """Run ``fn(**params)`` for every parameter set; results in input order.
+
+        Fresh fingerprints execute (sharded when ``jobs > 1``); memoized
+        fingerprints return their cached result without re-running or
+        re-merging telemetry.  Worker telemetry snapshots merge into the
+        parent registry in submission order.
+        """
+        record = (
+            telemetry.enabled()
+            if self.record_telemetry is None
+            else self.record_telemetry
+        )
+        resolved = [self.resolve(fn, params, seed_param) for params in param_sets]
+        prints = [fingerprint(fn, kwargs) for kwargs in resolved]
+
+        # Schedule only the first occurrence of each fresh fingerprint.
+        payloads: list[_TaskPayload] = []
+        scheduled: set[str] = set()
+        for index, (kwargs, print_) in enumerate(zip(resolved, prints)):
+            if self.memoize and (print_ in self._memo or print_ in scheduled):
+                continue
+            scheduled.add(print_)
+            payloads.append(_TaskPayload(fn=fn, kwargs=kwargs, record=record, index=index))
+
+        metrics = telemetry.metrics()
+        metrics.counter("parallel.sweep.points").inc(len(resolved))
+        metrics.counter("parallel.sweep.executed").inc(len(payloads))
+        metrics.counter("parallel.sweep.memo_hits").inc(len(resolved) - len(payloads))
+
+        executed: dict[int, Any] = {}
+        with telemetry.trace_span(
+            "parallel.sweep", jobs=self.jobs, points=len(resolved), tasks=len(payloads)
+        ):
+            if self.jobs == 1 or len(payloads) <= 1:
+                outcomes = [_execute(payload) for payload in payloads]
+            else:
+                workers = min(self.jobs, len(payloads))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [pool.submit(_execute, payload) for payload in payloads]
+                    # Collect in submission order: merge order (and therefore
+                    # gauge last-write outcomes) must not depend on which
+                    # worker finishes first.
+                    outcomes = [future.result() for future in futures]
+        parent = telemetry.registry()
+        for index, result, snapshot in outcomes:
+            executed[index] = result
+            if record:
+                parent.merge(snapshot)
+            if self.memoize:
+                self._memo[prints[index]] = result
+
+        return [
+            executed[index] if index in executed else self._memo[print_]
+            for index, print_ in enumerate(prints)
+        ]

@@ -25,8 +25,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..config.testbed import TestbedConfig
 from ..interconnect.link import RemoteLink
 from .results import TimeBreakdown
@@ -98,7 +96,10 @@ class PerformanceModel:
         """
         if total_bytes <= 0:
             return 0.0, 0.0
-        coverage = float(np.clip(coverage, 0.0, 1.0))
+        # Pure-Python clamp: np.clip on a scalar costs ~µs of array-dispatch
+        # overhead, and this runs once per tier per fixed-point iteration of
+        # every phase evaluation — the hottest scalar path in the simulator.
+        coverage = min(max(float(coverage), 0.0), 1.0)
         covered_bytes = total_bytes * coverage
         uncovered_bytes = total_bytes - covered_bytes
         bw_time = total_bytes / tier_bandwidth

@@ -29,6 +29,7 @@ Metric names and the span taxonomy are catalogued in
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from typing import IO, Optional
 
 from .registry import (
@@ -57,6 +58,7 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "isolated",
     "metrics",
     "read_jsonl",
     "trace_span",
@@ -110,6 +112,37 @@ def trace_span(name: str, **attrs):
     if not _ENABLED:
         return NOOP_SPAN
     return _TRACER.span(name, **attrs)
+
+
+@contextmanager
+def isolated(record: Optional[bool] = None):
+    """Run a block against a private, fresh registry and tracer.
+
+    Swaps new instances in for the module globals for the duration of the
+    block, yields the private :class:`MetricsRegistry`, and restores the
+    previous registry, tracer and enabled flag afterwards — the collected
+    data stays readable on the yielded object.
+
+    This is the execution wrapper of the sweep engine
+    (:mod:`repro.parallel`): every sweep task runs inside ``isolated(True)``
+    whether it executes in a worker process or inline in the parent, so a
+    serial run and a sharded run record into identically-scoped registries
+    whose snapshots then :meth:`~MetricsRegistry.merge` into the parent —
+    the keystone of the sharded-vs-serial bit-identity contract.
+
+    ``record=None`` keeps the current enabled flag; True/False force it for
+    the block.
+    """
+    global _REGISTRY, _TRACER, _ENABLED
+    saved = (_REGISTRY, _TRACER, _ENABLED)
+    _REGISTRY = MetricsRegistry()
+    _TRACER = Tracer()
+    if record is not None:
+        _ENABLED = bool(record)
+    try:
+        yield _REGISTRY
+    finally:
+        _REGISTRY, _TRACER, _ENABLED = saved
 
 
 # -- JSONL export / import -------------------------------------------------------------

@@ -7,11 +7,11 @@ PR, and CI's perf-smoke job validates every freshly emitted document against
 PRs, and diffs it against the committed baseline with :func:`compare_bench`
 so a perf regression fails the job instead of silently entering the record.
 
-Document shape (version 3)::
+Document shape (version 4)::
 
     {
       "schema": "repro.bench.cosim",
-      "version": 2,
+      "version": 4,
       "created_unix": 1754524800.0,
       "quick": false,
       "python": "3.12.3",
@@ -35,9 +35,13 @@ stepping of the whole-cluster co-simulator — and ``solver_vectorized`` —
 batched NumPy vs scalar contention solving at 100 racks).  Version 3 added
 ``fault_injection`` — the disabled-path cost of the fault layer (its
 ``extra.disabled_overhead_pct`` is the < 2% acceptance bound of
-``docs/failure_model.md``) plus a seeded chaos scenario.  Older documents
-remain readable (each version must only cover its own groups), so the
-committed trajectory stays comparable across schema bumps.
+``docs/failure_model.md``) plus a seeded chaos scenario.  Version 4 added
+the ``repro.parallel`` groups: ``sweep_sharded`` — a repeated-query sweep
+through :class:`repro.parallel.SweepRunner` at 8 workers versus a naive
+serial loop — and ``cluster_step_batched`` — the fused batched cluster
+epoch path versus the per-rack reference loop at 100 racks.  Older
+documents remain readable (each version must only cover its own groups), so
+the committed trajectory stays comparable across schema bumps.
 
 Every benchmark group of a document's version must be present so a missing
 measurement is a schema error, not a silently shorter file.
@@ -48,22 +52,24 @@ from __future__ import annotations
 from typing import Mapping
 
 BENCH_SCHEMA = "repro.bench.cosim"
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: Groups a valid document must cover, per schema version (the acceptance
 #: surface of the harness).
 REQUIRED_GROUPS_V1 = ("fabric_solver", "rack_cosim_step", "cluster_events")
 REQUIRED_GROUPS_V2 = REQUIRED_GROUPS_V1 + ("cluster_fabric", "solver_vectorized")
-REQUIRED_GROUPS = REQUIRED_GROUPS_V2 + ("fault_injection",)
+REQUIRED_GROUPS_V3 = REQUIRED_GROUPS_V2 + ("fault_injection",)
+REQUIRED_GROUPS = REQUIRED_GROUPS_V3 + ("sweep_sharded", "cluster_step_batched")
 
 REQUIRED_GROUPS_BY_VERSION = {
     1: REQUIRED_GROUPS_V1,
     2: REQUIRED_GROUPS_V2,
-    3: REQUIRED_GROUPS,
+    3: REQUIRED_GROUPS_V3,
+    4: REQUIRED_GROUPS,
 }
 
 #: Schema versions :func:`validate_bench` accepts.
-SUPPORTED_VERSIONS = (1, 2, BENCH_SCHEMA_VERSION)
+SUPPORTED_VERSIONS = (1, 2, 3, BENCH_SCHEMA_VERSION)
 
 _BENCH_KEYS = ("name", "group", "config", "repeats", "mean_s", "min_s", "throughput_per_s")
 _OVERHEAD_KEYS = (

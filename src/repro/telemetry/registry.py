@@ -276,6 +276,50 @@ class MetricsRegistry:
             for name in self.names()
         }
 
+    def merge(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The out-of-process aggregation primitive: a sweep worker snapshots
+        its private registry, ships the plain-data dict across the process
+        boundary, and the parent merges it here.  Semantics per instrument
+        type:
+
+        * **counter** — values add (work done elsewhere is still work done);
+        * **gauge** — last write wins (the merged snapshot's value replaces
+          the local one, in merge-call order);
+        * **histogram** — observations append;
+        * **timeseries** — rows append in snapshot order.
+
+        Instruments missing locally are created; a name collision across
+        instrument types raises ``TypeError`` exactly like local
+        registration would.
+        """
+        for name in sorted(snapshot):
+            self._merge_record(snapshot[name])
+
+    def _merge_record(self, record: Mapping) -> None:
+        """Fold one exported metric record into the registry."""
+        if record.get("kind") != "metric":
+            return
+        kind = record["type"]
+        name = record["name"]
+        if kind == "counter":
+            self.counter(name).inc(record["value"])
+        elif kind == "gauge":
+            self.gauge(name).set(record["value"])
+        elif kind == "histogram":
+            histogram = self.histogram(name)
+            for value in record["values"]:
+                histogram.observe(value)
+        elif kind == "timeseries":
+            columns = [c for c in record["columns"]]
+            series = self.timeseries(name, columns)
+            data = record["series"]
+            for i, time in enumerate(data["time"]):
+                series.append(time, **{c: data[c][i] for c in columns})
+        else:
+            raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
     # -- JSONL round trip -----------------------------------------------------------
 
     def write_jsonl(self, stream: IO[str]) -> int:
@@ -292,26 +336,7 @@ class MetricsRegistry:
         """Rebuild a registry from exported metric records (JSONL round trip)."""
         registry = cls()
         for record in records:
-            if record.get("kind") != "metric":
-                continue
-            kind = record["type"]
-            name = record["name"]
-            if kind == "counter":
-                registry.counter(name).inc(record["value"])
-            elif kind == "gauge":
-                registry.gauge(name).set(record["value"])
-            elif kind == "histogram":
-                histogram = registry.histogram(name)
-                for value in record["values"]:
-                    histogram.observe(value)
-            elif kind == "timeseries":
-                columns = [c for c in record["columns"]]
-                series = registry.timeseries(name, columns)
-                data = record["series"]
-                for i, time in enumerate(data["time"]):
-                    series.append(time, **{c: data[c][i] for c in columns})
-            else:
-                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+            registry._merge_record(record)
         return registry
 
 

@@ -53,3 +53,38 @@ def test_summary_structure(small_study):
 def test_unknown_workload_lookup(small_study):
     with pytest.raises(KeyError):
         small_study.result("NAMD")
+
+
+def test_sharded_study_matches_serial():
+    """Sharding the per-workload studies over processes is bit-identical."""
+    study = SchedulingCaseStudy(n_runs=5, seed=0)
+    specs = [build_workload("Hypre", 1.0), build_workload("XSBench", 1.0)]
+    serial = study.run(specs, jobs=1)
+    sharded = study.run(specs, jobs=2)
+    assert [r.workload for r in sharded.results] == ["Hypre", "XSBench"]
+    import numpy as np
+
+    for a, b in zip(serial.results, sharded.results):
+        assert a.workload == b.workload
+        # Bit-identity, not approximate agreement: the sharded run must
+        # reproduce the serial execution-time arrays exactly.
+        assert np.array_equal(a.baseline.times, b.baseline.times)
+        assert np.array_equal(a.aware.times, b.aware.times)
+
+
+def test_coupled_sweep_shards_and_memoizes():
+    """The coupled-study sweep dedups repeated configs and keeps order."""
+    from repro.casestudies.scheduling import CoupledSchedulingStudy
+
+    point = {
+        "n_racks": 1,
+        "nodes_per_rack": 2,
+        "pool_capacity_gb": 64.0,
+        "seed": 0,
+        "run": {"specs": [build_workload("XSBench", 1.0)], "copies": 2},
+    }
+    serial = CoupledSchedulingStudy.sweep([point, point], jobs=1)
+    sharded = CoupledSchedulingStudy.sweep([point, point], jobs=2)
+    assert serial == sharded
+    assert serial[0] == serial[1]
+    assert {"static", "fabric_coupled", "makespan_delta"} <= set(serial[0])

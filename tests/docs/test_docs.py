@@ -24,7 +24,13 @@ def _load_checker():
 
 class TestIntraRepoLinks:
     def test_docs_exist(self):
-        for name in ("architecture.md", "cli.md", "benchmarks.md", "failure_model.md"):
+        for name in (
+            "architecture.md",
+            "cli.md",
+            "benchmarks.md",
+            "failure_model.md",
+            "parallelism.md",
+        ):
             assert (ROOT / "docs" / name).exists(), f"docs/{name} is missing"
 
     def test_no_broken_relative_links(self):
@@ -62,6 +68,16 @@ class TestCliReferenceSnippets:
             optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
         )
         assert tests > 0, "docs/failure_model.md contains no runnable snippets"
+        assert failures == 0
+
+    def test_parallelism_md_doctests_pass(self):
+        """The sweep-engine page's determinism/fingerprint examples run."""
+        failures, tests = doctest.testfile(
+            str(ROOT / "docs" / "parallelism.md"),
+            module_relative=False,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        )
+        assert tests > 0, "docs/parallelism.md contains no runnable snippets"
         assert failures == 0
 
     def test_every_subcommand_is_documented(self):

@@ -1,0 +1,160 @@
+"""Batched cluster epoch stepping vs the per-rack reference loop.
+
+The fused batched path (:meth:`ClusterCoSimulator._rollover_racks_batched` +
+``step_frozen``) is an optimisation of the per-rack ``RackCoSimulator.step``
+loop, so this suite holds it to the same differential standard as
+``test_solver_equivalence.py``: trajectories must agree within solver
+tolerance (both solve paths land within ``TOLERANCE`` of the fixed point,
+hence within ``2 * TOLERANCE`` of each other — a relative rate disagreement
+of about ``AGREEMENT / remote_bandwidth``), and the bookkeeping — epoch-skip
+counters, checkpoint fidelity, fault forcing — must be indistinguishable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import telemetry
+from repro.fabric import ClusterCoSimulator, ClusterFabric, uniform_tenants
+from repro.fabric.faults import FaultSchedule, parse_fault_spec
+
+#: Solver-equivalence bounds shared with ``test_solver_equivalence.py``:
+#: each path lands within TOLERANCE (1e6 B/s) of the fixed point, so two
+#: paths disagree by at most AGREEMENT in delivered bytes/s.
+TOLERANCE = 1e6
+AGREEMENT = 2 * TOLERANCE
+
+#: Rate-space agreement bound: AGREEMENT in delivered bytes/s is
+#: AGREEMENT / remote_bandwidth (~1e-4) in relative progress-rate terms.
+RATE_RTOL = 1e-3
+
+
+def build_cluster(solver="vectorized", batched=None, n_racks=4, **kwargs):
+    fabric = ClusterFabric(
+        n_racks=n_racks, nodes_per_rack=4, n_ports=2, solver=solver
+    )
+    sim = ClusterCoSimulator(fabric, seed=0, **kwargs)
+    sim.batched_stepping = batched
+    return sim
+
+
+def populate(sim, spec, per_rack=2):
+    tenants = uniform_tenants(spec, per_rack, local_fraction=0.5)
+    for rack in range(sim.fabric.n_racks):
+        for i, tenant in enumerate(tenants):
+            sim.admit(rack, replace(tenant, name=f"r{rack}-{tenant.name}"), node=i)
+    return sim
+
+
+def trajectory(sim, steps=8):
+    dt = sim.horizon() / 2
+    samples = []
+    for _ in range(steps):
+        sim.step(dt)
+        samples.append((sim.clock, dict(sim.progress_rates())))
+    return samples
+
+
+def assert_trajectories_close(a, b, rtol=RATE_RTOL):
+    assert len(a) == len(b)
+    for (clock_a, rates_a), (clock_b, rates_b) in zip(a, b):
+        assert clock_a == pytest.approx(clock_b, rel=1e-9)
+        assert set(rates_a) == set(rates_b)
+        for name in rates_a:
+            assert rates_a[name] == pytest.approx(rates_b[name], rel=rtol), name
+
+
+class TestEquivalence:
+    def test_batched_matches_scalar_per_rack(self, xsbench_spec):
+        """The acceptance test: fused batched vs scalar reference loop."""
+        scalar = populate(build_cluster(solver="scalar"), xsbench_spec)
+        batched = populate(build_cluster(solver="vectorized", batched=True), xsbench_spec)
+        assert_trajectories_close(trajectory(scalar), trajectory(batched))
+
+    def test_batched_matches_vectorized_per_rack(self, xsbench_spec):
+        """Same solver kernel, fused vs per-rack driving: near-identical."""
+        per_rack = populate(build_cluster(batched=False), xsbench_spec)
+        fused = populate(build_cluster(batched=True), xsbench_spec)
+        assert_trajectories_close(trajectory(per_rack), trajectory(fused))
+
+    def test_run_to_completion_agrees(self, xsbench_spec):
+        runtimes = {}
+        for label, solver, batched in (
+            ("scalar", "scalar", False),
+            ("batched", "vectorized", True),
+        ):
+            sim = populate(build_cluster(solver=solver, batched=batched), xsbench_spec)
+            summary = sim.run_to_completion()
+            runtimes[label] = {t["name"]: t["runtime_s"] for t in summary["tenants"]}
+        assert set(runtimes["scalar"]) == set(runtimes["batched"])
+        for name, runtime in runtimes["scalar"].items():
+            assert runtimes["batched"][name] == pytest.approx(runtime, rel=1e-3)
+
+    def test_mid_epoch_churn_desyncs_and_recovers(self, xsbench_spec):
+        """Admission mid-epoch desyncs one rack's epoch clock; both paths
+        must keep agreeing while it rolls alone and after it realigns."""
+        sims = {
+            "per_rack": populate(build_cluster(batched=False), xsbench_spec),
+            "batched": populate(build_cluster(batched=True), xsbench_spec),
+        }
+        extra = uniform_tenants(xsbench_spec, 1, local_fraction=0.5)[0]
+        trajectories = {}
+        for label, sim in sims.items():
+            samples = []
+            dt = sim.horizon() / 3
+            sim.step(dt)
+            sim.admit(1, replace(extra, name="late-arrival"), node=2)
+            for _ in range(8):
+                sim.step(dt)
+                samples.append((sim.clock, dict(sim.progress_rates())))
+            trajectories[label] = samples
+        assert_trajectories_close(trajectories["per_rack"], trajectories["batched"])
+
+
+class TestBookkeeping:
+    def test_auto_mode_follows_solver(self, xsbench_spec):
+        assert build_cluster(solver="vectorized")._batched_stepping
+        assert not build_cluster(solver="scalar")._batched_stepping
+
+    def test_faults_force_per_rack_path(self, xsbench_spec):
+        sim = populate(build_cluster(batched=True), xsbench_spec)
+        schedule = FaultSchedule((parse_fault_spec("port-kill@5:rack=0,port=0"),))
+        sim.inject_faults(schedule)
+        assert not sim._batched_stepping
+        sim.step(sim.horizon() / 2)  # must not raise through step_frozen
+
+    def test_skip_counters_identical_across_paths(self, xsbench_spec):
+        counts = {}
+        for batched in (False, True):
+            telemetry.enable(reset=True)
+            try:
+                sim = populate(build_cluster(batched=batched), xsbench_spec)
+                dt = sim.horizon() / 2
+                for _ in range(6):
+                    sim.step(dt)
+                registry = telemetry.registry()
+                counts[batched] = {
+                    name: registry.counter(name).value
+                    for name in (
+                        "fabric.cosim.epoch_rollovers",
+                        "fabric.cosim.epoch_resolves",
+                        "fabric.cosim.epoch_skips",
+                    )
+                }
+            finally:
+                telemetry.disable()
+                telemetry.registry().reset()
+                telemetry.tracer().reset()
+        assert counts[False] == counts[True]
+
+    def test_checkpoint_rollback_replays_batched_path(self, xsbench_spec):
+        sim = populate(build_cluster(batched=True), xsbench_spec)
+        dt = sim.horizon() / 2
+        sim.step(dt)
+        checkpoint = sim.checkpoint()
+        first = trajectory(sim, steps=4)
+        sim.rollover(checkpoint)
+        second = trajectory(sim, steps=4)
+        assert first == second

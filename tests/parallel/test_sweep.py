@@ -1,0 +1,176 @@
+"""Sharded-vs-serial contracts of the sweep engine (``repro.parallel``).
+
+The three promises every sweep caller relies on:
+
+* **Bit-identity** — ``jobs=1`` and ``jobs=4`` produce identical results
+  *and* identical merged telemetry, because both run the same isolated
+  execution wrapper and merge snapshots in submission order.
+* **Determinism** — derived seeds are a function of ``(base_seed, task,
+  params)`` only, so reordering the grid or changing the worker count never
+  changes an individual point's inputs.
+* **Memoization** — repeated fingerprints execute once, within and across
+  :meth:`SweepRunner.map` calls, and memo hits do not re-merge telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import telemetry
+from repro.parallel import SweepRunner, derive_seed, fingerprint
+
+
+@dataclass(frozen=True)
+class PointConfig:
+    """A picklable stand-in for a topology/workload/policy config."""
+
+    tenants: int
+    policy: str = "least-loaded"
+
+
+def sim_task(x, seed=None):
+    """Deterministic sweep task that also records telemetry."""
+    telemetry.metrics().counter("sweeptest.calls").inc()
+    telemetry.metrics().histogram("sweeptest.x").observe(x)
+    telemetry.metrics().gauge("sweeptest.last_x").set(x)
+    return {"x": x, "seed": seed, "value": x * x}
+
+
+def config_task(config, seed=None):
+    """Sweep task keyed on a dataclass config, like the real studies."""
+    return {"tenants": config.tenants, "policy": config.policy, "seed": seed}
+
+
+@pytest.fixture()
+def telemetry_on():
+    telemetry.enable(reset=True)
+    try:
+        yield telemetry
+    finally:
+        telemetry.disable()
+        telemetry.registry().reset()
+        telemetry.tracer().reset()
+
+
+PARAMS = [{"x": x} for x in (3, 1, 4, 1, 5, 9, 2, 6)]
+
+
+class TestBitIdentity:
+    def test_jobs_1_vs_4_identical_results_and_counters(self, telemetry_on):
+        """The acceptance test: sharding changes wall-clock, nothing else."""
+        merged = {}
+        results = {}
+        for jobs in (1, 4):
+            with telemetry.isolated(True) as registry:
+                results[jobs] = SweepRunner(jobs=jobs).map(sim_task, PARAMS)
+                merged[jobs] = registry.snapshot()
+        assert results[1] == results[4]
+        assert merged[1] == merged[4]
+        # The merged registry saw every execution: 7 unique x values ran
+        # (x=1 repeats and is memoized), in submission order.
+        calls = merged[1]["sweeptest.calls"]["value"]
+        assert calls == 7
+        assert merged[1]["sweeptest.x"]["values"] == [3, 1, 4, 5, 9, 2, 6]
+
+    def test_results_in_input_order(self):
+        results = SweepRunner(jobs=4).map(sim_task, PARAMS)
+        assert [r["x"] for r in results] == [p["x"] for p in PARAMS]
+
+    def test_dataclass_configs_round_trip(self):
+        params = [
+            {"config": PointConfig(tenants=n, policy=p)}
+            for n in (1, 2)
+            for p in ("least-loaded", "random")
+        ]
+        serial = SweepRunner(jobs=1).map(config_task, params)
+        sharded = SweepRunner(jobs=4).map(config_task, params)
+        assert serial == sharded
+        assert [r["tenants"] for r in serial] == [1, 1, 2, 2]
+
+
+class TestDeterminism:
+    def test_derived_seed_ignores_position_and_jobs(self):
+        runner_a = SweepRunner(jobs=1, base_seed=7)
+        runner_b = SweepRunner(jobs=4, base_seed=7)
+        forward = runner_a.map(sim_task, PARAMS)
+        backward = runner_b.map(sim_task, list(reversed(PARAMS)))
+        by_x_fwd = {r["x"]: r["seed"] for r in forward}
+        by_x_bwd = {r["x"]: r["seed"] for r in backward}
+        assert by_x_fwd == by_x_bwd
+        assert all(seed is not None for seed in by_x_fwd.values())
+
+    def test_base_seed_changes_derived_seeds(self):
+        seed_0 = derive_seed(0, sim_task, {"x": 3})
+        seed_1 = derive_seed(1, sim_task, {"x": 3})
+        assert seed_0 != seed_1
+
+    def test_explicit_seed_is_never_overridden(self):
+        (result,) = SweepRunner(base_seed=99).map(sim_task, [{"x": 1, "seed": 42}])
+        assert result["seed"] == 42
+
+    def test_fingerprint_is_order_and_identity_insensitive(self):
+        a = fingerprint(sim_task, {"x": 1, "seed": 2})
+        b = fingerprint(sim_task, {"seed": 2, "x": 1})
+        assert a == b
+        c = fingerprint(config_task, {"config": PointConfig(tenants=3)})
+        d = fingerprint(config_task, {"config": PointConfig(tenants=3)})
+        assert c == d
+        assert c != fingerprint(config_task, {"config": PointConfig(tenants=4)})
+
+
+class TestMemoization:
+    def test_duplicates_execute_once_within_a_batch(self, telemetry_on):
+        runner = SweepRunner(jobs=1)
+        results = runner.map(sim_task, [{"x": 1}] * 5)
+        assert results == [results[0]] * 5
+        registry = telemetry.registry()
+        assert registry.counter("sweeptest.calls").value == 1
+        assert registry.counter("parallel.sweep.points").value == 5
+        assert registry.counter("parallel.sweep.executed").value == 1
+        assert registry.counter("parallel.sweep.memo_hits").value == 4
+
+    def test_memo_persists_across_map_calls(self, telemetry_on):
+        runner = SweepRunner(jobs=1)
+        first = runner.map(sim_task, [{"x": 2}])
+        second = runner.map(sim_task, [{"x": 2}])
+        assert first == second
+        assert telemetry.registry().counter("sweeptest.calls").value == 1
+
+    def test_memoize_off_always_executes(self, telemetry_on):
+        runner = SweepRunner(jobs=1, memoize=False)
+        runner.map(sim_task, [{"x": 1}] * 3)
+        assert telemetry.registry().counter("sweeptest.calls").value == 3
+
+    def test_memo_hits_do_not_remerge_telemetry(self, telemetry_on):
+        runner = SweepRunner(jobs=1)
+        runner.map(sim_task, [{"x": 1}])
+        runner.map(sim_task, [{"x": 1}])
+        # One execution -> one observation, regardless of memo hits.
+        assert telemetry.registry().histogram("sweeptest.x").count == 1
+
+
+class TestTelemetryPropagation:
+    def test_disabled_parent_records_nothing(self):
+        assert not telemetry.enabled()
+        with telemetry.isolated(None) as registry:
+            SweepRunner(jobs=1).map(sim_task, [{"x": 1}])
+            assert "sweeptest.calls" not in registry
+
+    def test_record_override_forces_collection(self):
+        assert not telemetry.enabled()
+        with telemetry.isolated(None) as registry:
+            SweepRunner(jobs=1, record_telemetry=True).map(sim_task, [{"x": 1}])
+            assert registry.counter("sweeptest.calls").value == 1
+
+    def test_sharded_workers_inherit_recording(self, telemetry_on):
+        with telemetry.isolated(True) as registry:
+            SweepRunner(jobs=2).map(sim_task, [{"x": 1}, {"x": 2}])
+            assert registry.counter("sweeptest.calls").value == 2
+            assert registry.gauge("sweeptest.last_x").value == 2
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        SweepRunner(jobs=0)

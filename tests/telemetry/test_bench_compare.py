@@ -17,6 +17,7 @@ from repro.telemetry.benchjson import (
     REQUIRED_GROUPS,
     REQUIRED_GROUPS_V1,
     REQUIRED_GROUPS_V2,
+    REQUIRED_GROUPS_V3,
     SUPPORTED_VERSIONS,
     compare_bench,
     validate_bench,
@@ -155,10 +156,16 @@ class TestSchemaVersions:
     def _rows(self, groups):
         return [bench_row(f"{g}.case", 0.010) for g in groups]
 
-    def test_v3_document_requires_fault_injection_group(self):
-        errors = validate_bench(document(self._rows(REQUIRED_GROUPS_V2)))
-        assert any("fault_injection" in e for e in errors)
+    def test_v4_document_requires_parallel_groups(self):
+        errors = validate_bench(document(self._rows(REQUIRED_GROUPS_V3)))
+        assert any("sweep_sharded" in e for e in errors)
+        assert any("cluster_step_batched" in e for e in errors)
         assert validate_bench(document(self._rows(REQUIRED_GROUPS))) == []
+
+    def test_v3_document_requires_fault_injection_group(self):
+        errors = validate_bench(document(self._rows(REQUIRED_GROUPS_V2), version=3))
+        assert any("fault_injection" in e for e in errors)
+        assert validate_bench(document(self._rows(REQUIRED_GROUPS_V3), version=3)) == []
 
     def test_v2_document_stays_valid_without_fault_group(self):
         doc = document(self._rows(REQUIRED_GROUPS_V2), version=2)
@@ -172,6 +179,6 @@ class TestSchemaVersions:
         assert validate_bench(doc) == []
 
     def test_unsupported_version_rejected(self):
-        doc = document(self._rows(REQUIRED_GROUPS), version=4)
+        doc = document(self._rows(REQUIRED_GROUPS), version=5)
         assert any("version" in e for e in validate_bench(doc))
-        assert 4 not in SUPPORTED_VERSIONS
+        assert 5 not in SUPPORTED_VERSIONS

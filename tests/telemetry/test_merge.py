@@ -1,0 +1,127 @@
+"""`MetricsRegistry.merge` and `telemetry.isolated` — the out-of-process
+aggregation primitives the sweep engine is built on (and that stand alone
+for any cross-process telemetry use)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.gauge("g").set(7.5)
+    registry.histogram("h").observe(1.0)
+    registry.histogram("h").observe(2.0)
+    series = registry.timeseries("t", ("value",))
+    series.append(0.0, value=10)
+    series.append(1.0, value=20)
+    return registry
+
+
+class TestMergeSemantics:
+    def test_counters_add(self):
+        target = MetricsRegistry()
+        target.counter("c").inc(2)
+        target.merge(populated_registry().snapshot())
+        assert target.counter("c").value == 5
+
+    def test_gauges_last_write_wins(self):
+        target = MetricsRegistry()
+        target.gauge("g").set(1.0)
+        target.merge(populated_registry().snapshot())
+        assert target.gauge("g").value == 7.5
+
+    def test_histograms_append(self):
+        target = MetricsRegistry()
+        target.histogram("h").observe(0.5)
+        target.merge(populated_registry().snapshot())
+        assert target.histogram("h").values == (0.5, 1.0, 2.0)
+
+    def test_timeseries_append_in_snapshot_order(self):
+        target = MetricsRegistry()
+        target.timeseries("t", ("value",)).append(-1.0, value=5)
+        target.merge(populated_registry().snapshot())
+        series = target.timeseries("t", ("value",))
+        assert series.times == [-1.0, 0.0, 1.0]
+        assert series.column("value") == [5, 10, 20]
+
+    def test_missing_instruments_are_created(self):
+        target = MetricsRegistry()
+        target.merge(populated_registry().snapshot())
+        assert set(target.names()) == {"c", "g", "h", "t"}
+        assert target.counter("c").value == 3
+
+    def test_merge_is_associative_over_counters(self):
+        """Merging A then B equals merging B then A for add-only metrics."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge(a.snapshot())
+        ab.merge(b.snapshot())
+        ba.merge(b.snapshot())
+        ba.merge(a.snapshot())
+        assert ab.counter("c").value == ba.counter("c").value == 3
+
+    def test_type_collision_raises(self):
+        target = MetricsRegistry()
+        target.gauge("c").set(1.0)
+        with pytest.raises(TypeError):
+            target.merge(populated_registry().snapshot())
+
+    def test_unknown_metric_type_raises(self):
+        target = MetricsRegistry()
+        with pytest.raises(ValueError):
+            target._merge_record({"kind": "metric", "type": "sparkline", "name": "x"})
+
+    def test_non_metric_records_are_ignored(self):
+        target = MetricsRegistry()
+        target._merge_record({"kind": "span", "name": "x"})
+        assert len(target) == 0
+
+    def test_snapshot_merge_round_trip(self):
+        source = populated_registry()
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+
+class TestIsolated:
+    def test_block_records_into_private_registry(self):
+        telemetry.disable()
+        before = telemetry.registry()
+        with telemetry.isolated(True) as registry:
+            telemetry.metrics().counter("iso.c").inc()
+            assert telemetry.registry() is registry
+            assert telemetry.enabled()
+        assert telemetry.registry() is before
+        assert not telemetry.enabled()
+        assert "iso.c" not in before
+        assert registry.counter("iso.c").value == 1
+
+    def test_record_none_inherits_enabled_flag(self):
+        telemetry.disable()
+        with telemetry.isolated(None) as registry:
+            telemetry.metrics().counter("iso.c").inc()
+        assert "iso.c" not in registry
+
+    def test_restores_on_exception(self):
+        before = telemetry.registry()
+        with pytest.raises(RuntimeError):
+            with telemetry.isolated(True):
+                raise RuntimeError("boom")
+        assert telemetry.registry() is before
+
+    def test_nested_isolation(self):
+        with telemetry.isolated(True) as outer:
+            telemetry.metrics().counter("iso.outer").inc()
+            with telemetry.isolated(True) as inner:
+                telemetry.metrics().counter("iso.inner").inc()
+            assert telemetry.registry() is outer
+            outer.merge(inner.snapshot())
+        assert outer.counter("iso.outer").value == 1
+        assert outer.counter("iso.inner").value == 1

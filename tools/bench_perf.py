@@ -18,7 +18,15 @@ and the overhead of the telemetry layer itself:
    :class:`ClusterCoSimulator` with tenants in every rack;
 6. ``fault_injection`` — the fault layer's disabled-path cost on the epoch
    loop (its ``extra.disabled_overhead_pct`` is the < 2% acceptance bound
-   of ``docs/failure_model.md``) plus a seeded chaos scenario.
+   of ``docs/failure_model.md``) plus a seeded chaos scenario;
+7. ``cluster_step_batched`` — cluster epoch stepping at 100 racks through
+   the fused batched rollover path vs the per-rack reference loop (the
+   recorded ``extra.speedup_vs_per_rack`` is the acceptance number of the
+   batched path);
+8. ``sweep_sharded`` — a repeated-query parameter sweep executed through
+   :class:`repro.parallel.SweepRunner` at 8 workers vs a naive serial loop
+   over the same query stream (``extra.speedup_vs_serial`` is the
+   acceptance number of the sweep engine).
 
 The emitted JSON validates against
 :mod:`repro.telemetry.benchjson` (``--check FILE`` re-validates any existing
@@ -377,6 +385,183 @@ def bench_fault_injection(quick: bool) -> list[dict]:
     return rows
 
 
+#: The 100-rack wiring of the ``cluster_step_batched`` group — dense enough
+#: that the per-rack Python loop, not the shared tenant models, dominates
+#: (identical in quick and full runs so the recorded speedup is always
+#: measured at the same scale).
+BATCHED_RACKS = 100
+BATCHED_NODES = 8
+BATCHED_TENANTS = 8
+
+
+def _batched_cluster(solver: str, batched: bool) -> ClusterCoSimulator:
+    fabric = ClusterFabric(
+        n_racks=BATCHED_RACKS, nodes_per_rack=BATCHED_NODES, n_ports=1, solver=solver
+    )
+    sim = ClusterCoSimulator(fabric, seed=0)
+    sim.batched_stepping = batched
+    spec = build_workload("Hypre", 4.0)
+    tenants = uniform_tenants(spec, BATCHED_TENANTS, local_fraction=0.5)
+    for rack in range(BATCHED_RACKS):
+        for tenant in tenants:
+            sim.admit(rack, replace(tenant, name=f"rack{rack}-{tenant.name}"))
+    # Time the rollover machinery itself, not the skip fast path: every epoch
+    # re-solves all 100 racks, which is the worst case the batched path fuses.
+    for rack_sim in sim.rack_sims:
+        rack_sim.skip_unchanged_epochs = False
+    return sim
+
+
+def bench_cluster_step_batched(quick: bool) -> list[dict]:
+    """Fused batched cluster epoch stepping vs the per-rack reference loop.
+
+    Both paths step the identical 100-rack, 800-tenant cluster one epoch per
+    step with epoch skipping disabled, so every step pays a full cross-rack
+    contention re-solve.  The per-rack row drives the scalar reference
+    solver through N independent ``RackCoSimulator.step`` calls; the batched
+    row advances all racks under frozen backgrounds and folds the rollovers
+    into one vectorized ``resolve_racks`` call.  ``extra.speedup_vs_per_rack``
+    on the batched row is the acceptance number: it must stay >= 2.
+    """
+    steps = 6 if quick else 30
+    config = {
+        "n_racks": BATCHED_RACKS,
+        "nodes_per_rack": BATCHED_NODES,
+        "n_ports": 1,
+        "n_tenants_per_rack": BATCHED_TENANTS,
+        "workload": "Hypre",
+        "scale": 4.0,
+        "skip_unchanged_epochs": False,
+    }
+    rows = []
+    walls = {}
+    for label, solver, batched in (
+        ("per_rack", "scalar", False),
+        ("batched", "vectorized", True),
+    ):
+        sim = _batched_cluster(solver, batched)
+        epoch = sim.epoch_seconds
+        start = time.perf_counter()
+        for _ in range(steps):
+            sim.step(epoch)
+        wall = time.perf_counter() - start
+        walls[label] = wall
+        extra = {"wall_s": wall, "steps": steps, "simulated_s": steps * epoch}
+        if label == "batched":
+            extra["speedup_vs_per_rack"] = (
+                walls["per_rack"] / wall if wall > 0 else 0.0
+            )
+        rows.append(
+            {
+                "name": f"cluster_step_batched.{label}",
+                "group": "cluster_step_batched",
+                "config": {**config, "solver": solver, "batched_stepping": batched},
+                "repeats": steps,
+                "mean_s": wall / steps,
+                "min_s": wall / steps,
+                "throughput_per_s": steps / wall if wall > 0 else 0.0,
+                "extra": extra,
+            }
+        )
+    return rows
+
+
+#: The ``sweep_sharded`` query stream: 4 unique rack co-simulation configs,
+#: each requested 5 times (20 points) — the repeated-query shape of the
+#: ROADMAP's memoized what-if service, where parameter studies revisit
+#: baseline configurations.
+SWEEP_TENANT_POINTS = (2, 4, 6, 8)
+SWEEP_REPEATS_PER_POINT = 5
+SWEEP_JOBS = 8
+
+
+def _sweep_point(workload: str, scale: float, tenants: int, request: int) -> dict:
+    """One sharded-sweep query: a full rack co-simulation, as a plain row.
+
+    ``request`` tags which repetition of the query this is; it is dropped
+    from the parameters before fingerprinting so repeated requests share one
+    fingerprint (and therefore one execution).
+    """
+    spec = build_workload(workload, scale)
+    result = RackCoSimulator(uniform_tenants(spec, tenants)).run()
+    return {
+        "tenants": tenants,
+        "mean_runtime": result.mean_runtime,
+        "mean_slowdown": result.mean_slowdown,
+        "makespan": result.makespan,
+    }
+
+
+def bench_sweep_sharded(quick: bool) -> list[dict]:
+    """Repeated-query sweep through ``SweepRunner`` vs a naive serial loop.
+
+    The stream holds 20 queries over 4 unique configurations.  The serial
+    row executes every query; the sharded row runs the same stream through
+    ``SweepRunner(jobs=8)``, which deduplicates repeated fingerprints (each
+    unique configuration is solved once) and shards the fresh ones over
+    worker processes.  On a single-core runner the recorded speedup is
+    therefore delivered by fingerprint memoization; on multicore hardware
+    process sharding compounds it.  ``extra.speedup_vs_serial`` on the
+    sharded row is the acceptance number: it must stay >= 3 at 8 workers.
+    """
+    from repro.parallel import SweepRunner
+
+    points = [
+        {"workload": "Hypre", "scale": 1.0, "tenants": tenants, "request": request}
+        for request in range(SWEEP_REPEATS_PER_POINT)
+        for tenants in SWEEP_TENANT_POINTS
+    ]
+    repeats = 2 if quick else 5
+    config = {
+        "workload": "Hypre",
+        "scale": 1.0,
+        "points": len(points),
+        "unique_points": len(SWEEP_TENANT_POINTS),
+    }
+
+    def run_serial():
+        return [_sweep_point(**params) for params in points]
+
+    def run_sharded():
+        runner = SweepRunner(jobs=SWEEP_JOBS)
+        fingerprinted = [
+            {k: v for k, v in params.items() if k != "request"} for params in points
+        ]
+        return runner.map(_sweep_point_query, fingerprinted, seed_param=None)
+
+    serial_rows = run_serial()
+    sharded_rows = run_sharded()
+    assert serial_rows == sharded_rows, "sharded sweep diverged from serial"
+    serial = _timeit(run_serial, repeats)
+    sharded = _timeit(run_sharded, repeats)
+    speedup = serial["min_s"] / sharded["min_s"] if sharded["min_s"] > 0 else 0.0
+    return [
+        {
+            "name": "sweep_sharded.serial",
+            "group": "sweep_sharded",
+            "config": {**config, "jobs": 1},
+            **serial,
+            "extra": {"executions": len(points)},
+        },
+        {
+            "name": "sweep_sharded.jobs8",
+            "group": "sweep_sharded",
+            "config": {**config, "jobs": SWEEP_JOBS},
+            **sharded,
+            "extra": {
+                "executions": len(SWEEP_TENANT_POINTS),
+                "memo_hits": len(points) - len(SWEEP_TENANT_POINTS),
+                "speedup_vs_serial": speedup,
+            },
+        },
+    ]
+
+
+def _sweep_point_query(workload: str, scale: float, tenants: int) -> dict:
+    """The fingerprinted form of :func:`_sweep_point` (no request tag)."""
+    return _sweep_point(workload, scale, tenants, request=0)
+
+
 def _synthetic_jobs(n_jobs: int) -> tuple[list[JobProfile], list[float]]:
     """A deterministic job stream exercising placement, waiting and retiring."""
     profiles = []
@@ -496,6 +681,8 @@ def run_benchmarks(quick: bool) -> dict:
     benchmarks.extend(bench_solver_vectorized(quick))
     benchmarks.append(bench_cluster_fabric(quick))
     benchmarks.extend(bench_fault_injection(quick))
+    benchmarks.extend(bench_cluster_step_batched(quick))
+    benchmarks.extend(bench_sweep_sharded(quick))
     return {
         "schema": BENCH_SCHEMA,
         "version": BENCH_SCHEMA_VERSION,
@@ -575,6 +762,18 @@ def main(argv=None) -> int:
         if b["name"] == "fault_injection.disabled_check"
     )
     print(f"  fault layer disabled overhead: {fault_pct:.3f}%")
+    batched_speedup = next(
+        b["extra"]["speedup_vs_per_rack"]
+        for b in data["benchmarks"]
+        if b["name"] == "cluster_step_batched.batched"
+    )
+    print(f"  batched cluster stepping speedup (100 racks): {batched_speedup:.1f}x")
+    sweep_speedup = next(
+        b["extra"]["speedup_vs_serial"]
+        for b in data["benchmarks"]
+        if b["name"] == "sweep_sharded.jobs8"
+    )
+    print(f"  sharded sweep speedup (8 workers, repeated queries): {sweep_speedup:.1f}x")
 
     if args.compare is not None:
         with open(args.compare, "r", encoding="utf-8") as fh:
