@@ -1,4 +1,9 @@
-"""The paper's two case studies: BFS data placement and interference-aware scheduling."""
+"""The paper's case studies plus the trace-replay extension.
+
+BFS data placement (Section 7.1), interference-aware scheduling
+(Section 7.2), and :mod:`repro.casestudies.trace_replay` — real Slurm
+``sacct`` traces replayed through the cluster simulator (ROADMAP item 3).
+"""
 
 from .bfs_placement import (
     BASELINE_ORDER,
@@ -15,6 +20,11 @@ from .scheduling import (
     SchedulingCaseStudyResult,
     WorkloadSchedulingResult,
 )
+from .trace_replay import (
+    TraceJobMapper,
+    TraceReplayResult,
+    TraceReplayStudy,
+)
 
 __all__ = [
     "BASELINE_ORDER",
@@ -28,4 +38,7 @@ __all__ = [
     "SchedulingCaseStudy",
     "SchedulingCaseStudyResult",
     "WorkloadSchedulingResult",
+    "TraceJobMapper",
+    "TraceReplayResult",
+    "TraceReplayStudy",
 ]

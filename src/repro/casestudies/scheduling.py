@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..config.units import bytes_to_gb
 from ..fabric.solver import SOLVER_VECTORIZED
 from ..profiler.level3 import Level3Profiler, SensitivityCurve
 from ..scheduler.cluster import Cluster
@@ -128,7 +129,7 @@ class SchedulingCaseStudy:
             workload=spec.name,
             baseline_runtime=sensitivity.baseline_runtime,
             sensitivity=sensitivity,
-            pool_gb=spec.footprint_bytes * remote_fraction / 1e9,
+            pool_gb=bytes_to_gb(spec.footprint_bytes * remote_fraction),
         )
 
     def study_workload(

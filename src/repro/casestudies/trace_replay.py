@@ -1,0 +1,206 @@
+"""Replay a real Slurm trace through the pooled-memory cluster simulator.
+
+The capacity-planning question the paper asks — *how much pooled memory does
+a machine actually need?* — is only as strong as the workload driving it.
+:class:`TraceReplayStudy` closes that gap: a ``sacct`` dump streamed through
+:mod:`repro.data.slurm` becomes the job stream of a
+:class:`~repro.scheduler.simulator.ClusterSimulator` run, so pool-aware
+placement (:class:`~repro.scheduler.policies.PoolAwarePlacement`) is judged
+against a machine's *measured* memory footprints and arrival process instead
+of an analytic model.
+
+Mapping contract (:class:`TraceJobMapper`):
+
+* ``MaxRSS × NNodes`` is the job's aggregate footprint; the remote share
+  (``1 - local_fraction`` of it) becomes ``JobProfile.pool_gb`` — converted
+  binary-RSS-bytes → **decimal GB** through :func:`repro.config.units.
+  bytes_to_gb`, the pinned convention of the scheduler layer.
+* ``Elapsed`` becomes ``baseline_runtime``: the recorded runtime is taken as
+  the interference-free baseline (the trace machine's own interference is
+  not subtractable from accounting data — a documented limitation).
+* ``Submit`` offsets (relative to the first replayed job) become arrivals,
+  so queueing emerges from the real arrival process.
+* Sensitivity hints are not in accounting data; a configurable default
+  (``default_sensitivity`` / ``default_induced_loi``) stands in, making the
+  replay a *capacity* study by default and an *interference* study when the
+  caller supplies measured curves.
+
+Multi-node trace jobs occupy **one** simulator node but carry their full
+pooled footprint — capacity pressure is exact, node-count pressure is not
+(follow-on in ROADMAP).  Jobs too large for any rack's pool are dropped and
+counted (``unplaceable_jobs``), never silently shrunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from ..config.errors import SchedulingError
+from ..config.units import bytes_to_gb
+from ..data.slurm import IngestReport, TraceJob, read_sacct
+from ..profiler.level3 import SensitivityCurve
+from ..scheduler.cluster import Cluster
+from ..scheduler.job import JobProfile
+from ..scheduler.policies import make_policy
+from ..scheduler.simulator import ClusterSimulator, ScheduleOutcome
+from ..telemetry import trace_span
+
+#: Workload label replayed jobs carry (``JobProfile.workload``); kept a
+#: constant so per-workload groupings aggregate the whole trace.
+TRACE_WORKLOAD = "trace"
+
+
+@dataclass(frozen=True)
+class TraceJobMapper:
+    """Configurable :class:`TraceJob` → :class:`JobProfile` mapping.
+
+    Attributes
+    ----------
+    local_fraction:
+        Fraction of each job's footprint assumed served node-locally in the
+        what-if machine; the rest is drawn from the rack pool.
+    default_induced_loi:
+        Level of Interference each replayed job is assumed to inject on its
+        rack's pool link (percent of link peak).  Accounting data carries no
+        bandwidth, so this is a modelling default, not a measurement.
+    default_sensitivity:
+        Sensitivity curve attached to every job (None = insensitive).
+    min_runtime_s:
+        Jobs shorter than this are clamped up, not dropped — sub-second
+        accounting entries otherwise produce degenerate baselines.
+    """
+
+    local_fraction: float = 0.5
+    default_induced_loi: float = 0.0
+    default_sensitivity: Optional[SensitivityCurve] = None
+    min_runtime_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.local_fraction <= 1.0:
+            raise SchedulingError("local_fraction must be in [0, 1]")
+        if self.default_induced_loi < 0:
+            raise SchedulingError("default_induced_loi must be >= 0")
+        if self.min_runtime_s <= 0:
+            raise SchedulingError("min_runtime_s must be positive")
+
+    def profile_of(self, job: TraceJob) -> JobProfile:
+        """The submission-time profile a replayed trace job presents."""
+        remote_bytes = job.footprint_bytes * (1.0 - self.local_fraction)
+        return JobProfile(
+            workload=TRACE_WORKLOAD,
+            baseline_runtime=max(job.elapsed_s, self.min_runtime_s),
+            sensitivity=self.default_sensitivity,
+            induced_loi=self.default_induced_loi,
+            pool_gb=bytes_to_gb(remote_bytes),
+        )
+
+
+@dataclass(frozen=True)
+class TraceReplayResult:
+    """Outcome of one trace replay: schedule statistics + ingestion report."""
+
+    outcome: ScheduleOutcome
+    ingest: dict
+    jobs_replayed: int
+    unplaceable_jobs: int
+    peak_pool_demand_gb: float
+    trace_span_s: float
+
+    def summary(self) -> dict:
+        """CLI/README-friendly summary of the replay."""
+        finished = sum(1 for j in self.outcome.jobs if j.finished)
+        return {
+            "policy": self.outcome.policy,
+            "jobs_replayed": self.jobs_replayed,
+            "jobs_finished": finished,
+            "unplaceable_jobs": self.unplaceable_jobs,
+            "makespan_s": self.outcome.makespan,
+            "mean_wait_s": self.outcome.mean_wait,
+            "mean_slowdown": self.outcome.mean_slowdown,
+            "peak_pool_demand_gb": self.peak_pool_demand_gb,
+            "trace_span_s": self.trace_span_s,
+            "ingest": self.ingest,
+        }
+
+
+class TraceReplayStudy:
+    """Stream a ``sacct`` dump into one cluster-simulation run.
+
+    The ingester stays streaming end to end: trace jobs are mapped to
+    profiles one at a time and only the *replayed window* (post ``limit`` /
+    ``window`` filtering) is materialised for the simulator — bounding a
+    multi-month trace replay by the slice being studied, not the dump size.
+
+    Parameters mirror :class:`~repro.scheduler.cluster.Cluster.build`;
+    ``mapper`` carries the trace→profile defaults.
+    """
+
+    def __init__(
+        self,
+        n_racks: int = 4,
+        nodes_per_rack: int = 16,
+        pool_capacity_gb: float = 2048.0,
+        local_memory_gb: float = 256.0,
+        policy: str = "pool-aware",
+        seed: int = 0,
+        mapper: Optional[TraceJobMapper] = None,
+    ) -> None:
+        if pool_capacity_gb <= 0:
+            raise SchedulingError("pool_capacity_gb must be positive")
+        self.n_racks = n_racks
+        self.nodes_per_rack = nodes_per_rack
+        self.pool_capacity_gb = pool_capacity_gb
+        self.local_memory_gb = local_memory_gb
+        self.policy = policy
+        self.seed = seed
+        self.mapper = mapper if mapper is not None else TraceJobMapper()
+
+    def run(
+        self,
+        source: Union[str, Path, Iterable[str]],
+        limit: Optional[int] = None,
+        window: Optional[tuple] = None,
+    ) -> TraceReplayResult:
+        """Replay ``source`` (a path or line stream) to completion."""
+        report = IngestReport()
+        profiles: list[JobProfile] = []
+        arrivals: list[float] = []
+        origin: Optional[float] = None
+        unplaceable = 0
+        last_submit = 0.0
+        with trace_span("trace_replay.ingest"):
+            for job in read_sacct(source, limit=limit, window=window, report=report):
+                profile = self.mapper.profile_of(job)
+                if profile.pool_gb > self.pool_capacity_gb:
+                    unplaceable += 1
+                    continue
+                if origin is None:
+                    origin = job.submit_unix or 0.0
+                offset = max((job.submit_unix or 0.0) - origin, 0.0)
+                profiles.append(profile)
+                arrivals.append(offset)
+                last_submit = max(last_submit, offset)
+        if not profiles:
+            raise SchedulingError(
+                "trace replay produced no replayable jobs "
+                f"(ingest report: {report.summary()})"
+            )
+        cluster = Cluster.build(
+            n_racks=self.n_racks,
+            nodes_per_rack=self.nodes_per_rack,
+            local_memory_gb=self.local_memory_gb,
+            pool_capacity_gb=self.pool_capacity_gb,
+        )
+        simulator = ClusterSimulator(cluster, make_policy(self.policy), seed=self.seed)
+        with trace_span("trace_replay.simulate", jobs=len(profiles)):
+            outcome = simulator.run(profiles, arrivals=arrivals)
+        return TraceReplayResult(
+            outcome=outcome,
+            ingest=report.summary(),
+            jobs_replayed=len(profiles),
+            unplaceable_jobs=unplaceable,
+            peak_pool_demand_gb=max(p.pool_gb for p in profiles),
+            trace_span_s=last_submit,
+        )

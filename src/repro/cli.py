@@ -31,9 +31,89 @@ from . import analysis, telemetry
 from .analysis.tables import format_table
 from .casestudies.bfs_placement import BFSPlacementCaseStudy
 from .casestudies.scheduling import SchedulingCaseStudy
+from .config.units import gb_per_s
 from .profiler.profiler import MultiLevelProfiler
 from .telemetry.report import render_report
 from .workloads.registry import build_workload, workload_names
+
+
+# ---------------------------------------------------------------------------
+# Argument validators: numeric flags fail with an actionable one-line message
+# (argparse renders ArgumentTypeError as "argument --flag: <message>"),
+# matching the repro.data.slurm error style — never a bare traceback.
+# ---------------------------------------------------------------------------
+
+
+def _number(text: str, kind: type, what: str) -> Any:
+    try:
+        value = kind(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not {what} (expected e.g. {'4' if kind is int else '4.0'})"
+        ) from None
+    if kind is float and not np.isfinite(value):
+        raise argparse.ArgumentTypeError(f"{text!r} is not finite")
+    return value
+
+
+def positive_int(text: str) -> int:
+    """Argparse type: an integer >= 1."""
+    value = _number(text, int, "an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def positive_float(text: str) -> float:
+    """Argparse type: a finite number > 0."""
+    value = _number(text, float, "a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def nonnegative_float(text: str) -> float:
+    """Argparse type: a finite number >= 0."""
+    value = _number(text, float, "a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def fraction(text: str) -> float:
+    """Argparse type: a finite number in (0, 1]."""
+    value = _number(text, float, "a number")
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1], got {value}")
+    return value
+
+
+def closed_fraction(text: str) -> float:
+    """Argparse type: a finite number in [0, 1]."""
+    value = _number(text, float, "a number")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
+    return value
+
+
+def trace_window(text: str) -> tuple:
+    """Argparse type for ``--trace-window START:END``.
+
+    START/END are seconds relative to the first replayed job's submit time;
+    either side may be empty for an open bound (``3600:`` = everything after
+    the first hour).
+    """
+    head, sep, tail = text.partition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not START:END (seconds relative to the trace start; "
+            "either side may be empty)"
+        )
+    lo = nonnegative_float(head) if head.strip() else None
+    hi = nonnegative_float(tail) if tail.strip() else None
+    if lo is not None and hi is not None and hi < lo:
+        raise argparse.ArgumentTypeError(f"window end {hi} is before start {lo}")
+    return (lo, hi)
 
 
 def _to_jsonable(value: Any) -> Any:
@@ -211,7 +291,41 @@ def _fault_schedule_from(args: argparse.Namespace) -> Any:
         raise SystemExit(2)
 
 
+def _run_trace_replay(args: argparse.Namespace) -> int:
+    """``scheduling --trace``: replay a recorded sacct dump (ROADMAP item 3)."""
+    from .casestudies.trace_replay import TraceJobMapper, TraceReplayStudy
+    from .config.errors import ReproError
+
+    if args.coupled or getattr(args, "inject", None) or args.overcommit:
+        print(
+            "--trace replays a recorded workload and cannot be combined with "
+            "--coupled/--inject/--overcommit",
+            file=sys.stderr,
+        )
+        return 2
+    study = TraceReplayStudy(
+        n_racks=args.racks,
+        nodes_per_rack=args.nodes_per_rack,
+        pool_capacity_gb=args.pool_gb,
+        policy=args.policy,
+        seed=args.seed,
+        mapper=TraceJobMapper(local_fraction=args.trace_local_fraction),
+    )
+    try:
+        result = study.run(args.trace, limit=args.trace_limit, window=args.trace_window)
+    except OSError as exc:
+        print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"trace replay failed: {exc}", file=sys.stderr)
+        return 2
+    _emit(result.summary(), args.json)
+    return 0
+
+
 def cmd_scheduling(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        return _run_trace_replay(args)
     schedule = _fault_schedule_from(args)
     if (schedule is not None or args.overcommit) and not args.coupled:
         print("--inject/--overcommit require --coupled", file=sys.stderr)
@@ -234,7 +348,7 @@ def cmd_scheduling(args: argparse.Namespace) -> int:
             cluster_pool_gb=args.cluster_pool_gb,
             fault_schedule=schedule,
             overcommit=args.overcommit,
-            drain_bytes_per_s=args.drain_gbs * 1e9,
+            drain_bytes_per_s=gb_per_s(args.drain_gbs),
         )
         result = study.run(
             specs=specs,
@@ -254,7 +368,7 @@ def cmd_fabric(args: argparse.Namespace) -> int:
     """Rack-scale co-simulation: tenants sharing one memory pool (fabric extension)."""
     from dataclasses import replace
 
-    from .config.units import GiB
+    from .config.units import gib
     from .fabric import FabricTopology, MemoryPool, RackCoSimulator, uniform_tenants
 
     spec = build_workload(args.workload, args.scale)
@@ -262,7 +376,7 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         spec, args.tenants, local_fraction=args.local_fraction, stagger=args.stagger
     )
     schedule = _fault_schedule_from(args)
-    drain = args.drain_gbs * 1e9
+    drain = gb_per_s(args.drain_gbs)
     if args.cluster:
         from .fabric import ClusterCoSimulator, ClusterFabric
 
@@ -277,10 +391,10 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         simulator = ClusterCoSimulator(
             fabric,
             rack_pool_bytes=(
-                int(args.pool_gb * GiB) if args.pool_gb is not None else None
+                int(gib(args.pool_gb)) if args.pool_gb is not None else None
             ),
             cluster_pool_bytes=(
-                int(args.cluster_pool_gb * GiB) if args.cluster_pool_gb else None
+                int(gib(args.cluster_pool_gb)) if args.cluster_pool_gb else None
             ),
             epoch_seconds=args.epoch_seconds,
             seed=args.seed,
@@ -303,7 +417,7 @@ def cmd_fabric(args: argparse.Namespace) -> int:
         _emit(simulator.run_to_completion(), args.json)
         return 0
     if args.pool_gb is not None:
-        pool = MemoryPool(int(args.pool_gb * GiB), elastic=args.overcommit)
+        pool = MemoryPool(int(gib(args.pool_gb)), elastic=args.overcommit)
     elif args.overcommit:
         # Elasticity only matters when leases contend, so the default
         # capacity with --overcommit is exactly the sum of all leases.
@@ -385,7 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=positive_int,
         default=1,
         metavar="N",
         help="worker processes for parameter sweeps (commands that sweep "
@@ -413,23 +527,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figure", help="regenerate a figure's data")
     p_fig.add_argument("number", type=int)
-    p_fig.add_argument("--runs", type=int, default=100, help="runs for figure 13")
+    p_fig.add_argument("--runs", type=positive_int, default=100, help="runs for figure 13")
     p_fig.set_defaults(func=cmd_figure)
 
     p_prof = sub.add_parser("profile", help="three-level profile of one workload")
     p_prof.add_argument("workload", choices=list(workload_names()) + ["XS"])
-    p_prof.add_argument("--scale", type=float, default=1.0)
+    p_prof.add_argument("--scale", type=positive_float, default=1.0)
     p_prof.add_argument("--levels", type=int, default=3, choices=(1, 2, 3))
-    p_prof.add_argument("--local-fraction", type=float, default=0.5)
+    p_prof.add_argument("--local-fraction", type=closed_fraction, default=0.5)
     p_prof.set_defaults(func=cmd_profile)
 
     p_bfs = sub.add_parser("bfs-case-study", help="Section 7.1 case study")
-    p_bfs.add_argument("--scale", type=float, default=1.0)
+    p_bfs.add_argument("--scale", type=positive_float, default=1.0)
     p_bfs.add_argument("--no-sensitivity", action="store_true")
     p_bfs.set_defaults(func=cmd_bfs_case_study)
 
     p_sched = sub.add_parser("scheduling", help="Section 7.2 case study")
-    p_sched.add_argument("--runs", type=int, default=100)
+    p_sched.add_argument("--runs", type=positive_int, default=100)
     p_sched.add_argument(
         "--coupled",
         action="store_true",
@@ -442,22 +556,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="workloads in the coupled job stream (default: all six)",
     )
-    p_sched.add_argument("--copies", type=int, default=2, help="jobs per workload")
-    p_sched.add_argument("--racks", type=int, default=2, help="racks in the cluster")
-    p_sched.add_argument("--nodes-per-rack", type=int, default=2)
-    p_sched.add_argument("--pool-gb", type=float, default=2048.0, help="pool capacity per rack")
+    p_sched.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="replay a Slurm 'sacct -P' dump through the cluster simulator "
+        "instead of the synthetic Section 7.2 workloads (see docs/data.md)",
+    )
+    p_sched.add_argument(
+        "--trace-limit",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="replay only the first N trace jobs",
+    )
+    p_sched.add_argument(
+        "--trace-window",
+        type=trace_window,
+        default=None,
+        metavar="START:END",
+        help="replay only jobs submitted between START and END seconds after "
+        "the trace starts (either side may be empty for an open bound)",
+    )
+    p_sched.add_argument(
+        "--trace-local-fraction",
+        type=closed_fraction,
+        default=0.5,
+        help="fraction of each trace job's footprint served node-locally; "
+        "the rest draws on the rack pool",
+    )
+    p_sched.add_argument("--copies", type=positive_int, default=2, help="jobs per workload")
+    p_sched.add_argument("--racks", type=positive_int, default=2, help="racks in the cluster")
+    p_sched.add_argument("--nodes-per-rack", type=positive_int, default=2)
+    p_sched.add_argument(
+        "--pool-gb", type=positive_float, default=2048.0, help="pool capacity per rack, GB"
+    )
     p_sched.add_argument(
         "--policy",
         default="least-loaded",
         help="placement policy for the coupled comparison",
     )
-    p_sched.add_argument("--ports", type=int, default=1, help="pool ports per rack")
-    p_sched.add_argument("--scale", type=float, default=1.0, help="workload input scale")
+    p_sched.add_argument("--ports", type=positive_int, default=1, help="pool ports per rack")
     p_sched.add_argument(
-        "--stagger", type=float, default=0.0, help="seconds between job arrivals"
+        "--scale", type=positive_float, default=1.0, help="workload input scale"
     )
     p_sched.add_argument(
-        "--epoch-seconds", type=float, default=None, help="fabric co-simulation step"
+        "--stagger", type=nonnegative_float, default=0.0, help="seconds between job arrivals"
+    )
+    p_sched.add_argument(
+        "--epoch-seconds", type=positive_float, default=None, help="fabric co-simulation step"
     )
     p_sched.add_argument(
         "--with-sensitivity",
@@ -474,10 +621,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sched.add_argument(
         "--cluster-pool-gb",
-        type=float,
+        type=nonnegative_float,
         default=0.0,
-        help="cluster-level spill pool for the coupled fabric, GiB "
-        "(0 disables spilling)",
+        help="cluster-level spill pool for the coupled fabric, decimal GB "
+        "like every scheduler-layer capacity (0 disables spilling)",
     )
     _add_fault_args(p_sched, "the coupled fabric (requires --coupled)")
     p_sched.set_defaults(func=cmd_scheduling)
@@ -485,33 +632,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_fabric = sub.add_parser(
         "fabric", help="rack-scale shared memory-pool co-simulation"
     )
-    p_fabric.add_argument("--tenants", type=int, default=4, help="co-located tenants")
+    p_fabric.add_argument("--tenants", type=positive_int, default=4, help="co-located tenants")
     p_fabric.add_argument("--workload", default="Hypre", help="tenant workload")
-    p_fabric.add_argument("--scale", type=float, default=1.0, help="input scale factor")
+    p_fabric.add_argument(
+        "--scale", type=positive_float, default=1.0, help="input scale factor"
+    )
     p_fabric.add_argument(
         "--local-fraction",
-        type=float,
+        type=closed_fraction,
         default=0.5,
         help="fraction of each tenant's footprint served locally",
     )
     p_fabric.add_argument(
         "--pool-gb",
-        type=float,
+        type=positive_float,
         default=None,
-        help="pool capacity in GiB (default: enough for all tenants)",
+        help="pool capacity in GiB — the fabric layer counts raw bytes "
+        "(default: enough for all tenants)",
     )
-    p_fabric.add_argument("--ports", type=int, default=1, help="shared pool ports")
+    p_fabric.add_argument("--ports", type=positive_int, default=1, help="shared pool ports")
     p_fabric.add_argument(
         "--port-capacity-scale",
-        type=float,
+        type=positive_float,
         default=1.0,
         help="pool-port capacity as a multiple of one node link (>= 1)",
     )
     p_fabric.add_argument(
-        "--stagger", type=float, default=0.0, help="seconds between tenant arrivals"
+        "--stagger", type=nonnegative_float, default=0.0, help="seconds between tenant arrivals"
     )
     p_fabric.add_argument(
-        "--epoch-seconds", type=float, default=None, help="co-simulation step"
+        "--epoch-seconds", type=positive_float, default=None, help="co-simulation step"
     )
     p_fabric.add_argument(
         "--timeline", action="store_true", help="include the pool telemetry timeline"
@@ -519,7 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fabric.add_argument(
         "--cluster",
         type=int,
-        default=0,
+        default=0,  # 0 = single-rack mode, so positive_int does not apply
         metavar="N_RACKS",
         help="co-simulate N_RACKS racks (each with --tenants tenants) through "
         "the cluster fabric instead of a single rack",
@@ -533,14 +683,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fabric.add_argument(
         "--cluster-pool-gb",
-        type=float,
+        type=nonnegative_float,
         default=0.0,
         help="cluster-level spill pool capacity in GiB (0 disables spilling; "
         "only with --cluster)",
     )
     p_fabric.add_argument(
         "--uplink-scale",
-        type=float,
+        type=positive_float,
         default=4.0,
         help="rack uplink capacity as a multiple of one node link "
         "(only with --cluster)",

@@ -41,3 +41,13 @@ class FabricError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class TraceError(ReproError):
+    """A production-trace ingester was fed input it cannot recover from.
+
+    Per-row problems in a streamed trace are *not* errors — they are counted
+    and reported as skipped rows (:class:`repro.data.slurm.IngestReport`);
+    this exception is reserved for structural problems such as a missing
+    header or required column, where continuing would misparse every row.
+    """

@@ -52,6 +52,66 @@ CACHELINE_BYTES = 64
 PAGE_BYTES = 4 * KiB
 
 
+#: Suffix multipliers accepted by :func:`parse_size`.  Slurm's accounting
+#: fields (``MaxRSS``, ``AveRSS``, ``ReqMem``) are KiB-based: a bare number is
+#: **KiB** only in Slurm's own output, but this parser is fed the suffixed
+#: form (``4056K``, ``12.3G``), where the suffix names a **binary** unit.
+_SIZE_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "K": KiB,
+    "M": MiB,
+    "G": GiB,
+    "T": TiB,
+    "P": 2**50,
+}
+
+
+def parse_size(text: str, default_multiplier: int = 1) -> int:
+    """Parse a Slurm-style size string (``4056K``, ``12.3G``, ``0``) to bytes.
+
+    The K/M/G/T/P suffixes are **binary** (KiB-based), matching Slurm's
+    accounting output; an optional trailing ``n`` (per-node) or ``c``
+    (per-task) qualifier — as emitted by older ``sacct`` versions — is
+    accepted and ignored.  A bare number is multiplied by
+    ``default_multiplier`` (pass :data:`KiB` for fields Slurm reports in KiB
+    without a suffix).  Raises :class:`~repro.config.errors.ConfigurationError`
+    with the offending text on anything else; callers streaming untrusted
+    traces catch it and skip the row instead of crashing.
+
+    >>> parse_size("4056K")
+    4153344
+    >>> parse_size("2G") == 2 * GiB
+    True
+    >>> parse_size("0")
+    0
+    """
+    from .errors import ConfigurationError
+
+    if not isinstance(text, str):
+        raise ConfigurationError(f"size must be a string, got {type(text).__name__}")
+    cleaned = text.strip()
+    if cleaned.endswith(("n", "c")):  # Slurm per-node / per-task qualifiers
+        cleaned = cleaned[:-1]
+    if not cleaned:
+        raise ConfigurationError("empty size string (expected e.g. '4056K' or '12.3G')")
+    suffix = cleaned[-1].upper()
+    if suffix in _SIZE_SUFFIXES and not suffix.isdigit():
+        number_text, multiplier = cleaned[:-1], _SIZE_SUFFIXES[suffix]
+    else:
+        number_text, multiplier = cleaned, default_multiplier
+    try:
+        value = float(number_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed size {text!r}: {number_text!r} is not a number "
+            "(expected e.g. '4056K' or '12.3G')"
+        ) from None
+    if value < 0:
+        raise ConfigurationError(f"size {text!r} is negative")
+    return int(round(value * multiplier))
+
+
 def bytes_to_gb(n_bytes: float) -> float:
     """Convert bytes to decimal gigabytes (GB)."""
     return n_bytes / GB

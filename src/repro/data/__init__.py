@@ -1,5 +1,19 @@
-"""Reference data: supercomputer memory configurations (Figure 1, Table 1)."""
+"""Reference and production data feeding the simulators.
 
+* :mod:`repro.data.top500` — supercomputer memory configurations
+  (Figure 1, Table 1).
+* :mod:`repro.data.slurm` — streaming ingestion of real Slurm ``sacct``
+  traces into replayable job streams (ROADMAP item 3).
+"""
+
+from .slurm import (
+    IngestReport,
+    SacctReader,
+    TraceJob,
+    read_sacct,
+    synthesize_sacct_lines,
+    write_synthetic_trace,
+)
 from .top500 import (
     MEMORY_EVOLUTION,
     MemoryEvolutionPoint,
@@ -12,6 +26,12 @@ from .top500 import (
 )
 
 __all__ = [
+    "IngestReport",
+    "SacctReader",
+    "TraceJob",
+    "read_sacct",
+    "synthesize_sacct_lines",
+    "write_synthetic_trace",
     "MEMORY_EVOLUTION",
     "MemoryEvolutionPoint",
     "SystemMemoryConfig",

@@ -42,6 +42,7 @@ blast-radius example.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
@@ -287,6 +288,10 @@ def parse_fault_spec(spec: str) -> FaultEvent:
         kwargs: dict = {"time": float(time_text), "kind": kind.strip()}
     except ValueError:
         raise FabricError(f"bad fault spec {spec!r}: time {time_text!r} is not a number")
+    if not math.isfinite(kwargs["time"]):
+        # nan slips past the `time < 0` check (all comparisons are False);
+        # reject it here so schedules stay sortable.
+        raise FabricError(f"bad fault spec {spec!r}: time {time_text!r} is not finite")
     if sep:
         for item in tail.split(","):
             key, eq, value = item.partition("=")
@@ -298,6 +303,10 @@ def parse_fault_spec(spec: str) -> FaultEvent:
                     kwargs[key] = int(value)
                 elif key in ("scale", "duration"):
                     kwargs[key] = float(value)
+                    if not math.isfinite(kwargs[key]):
+                        raise FabricError(
+                            f"bad fault spec {spec!r}: {key} {value!r} is not finite"
+                        )
                 elif key == "gb":
                     kwargs["nbytes"] = int(float(value) * GiB)
                 elif key == "tenant":

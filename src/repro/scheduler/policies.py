@@ -28,6 +28,7 @@ from typing import Optional, Protocol, Sequence
 import numpy as np
 
 from ..config.errors import SchedulingError
+from ..config.units import gb
 from .cluster import Cluster, Rack
 from .job import Job
 
@@ -278,7 +279,7 @@ class ClusterFabricPlacement:
         )
 
     def _would_spill(self, rack: Rack, job: Job) -> bool:
-        lease_bytes = job.profile.pool_gb * 1e9
+        lease_bytes = gb(job.profile.pool_gb)  # scheduler capacities are decimal GB
         if self.progress is not None and hasattr(self.progress, "rack_simulator"):
             pool = self.progress.rack_simulator(rack).pool
             return lease_bytes > pool.free_bytes or pool.queue_depth > 0

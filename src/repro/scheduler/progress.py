@@ -51,6 +51,7 @@ from typing import Callable, Dict, Mapping, Optional, Protocol
 
 from ..config.errors import SchedulingError
 from ..config.testbed import SKYLAKE_EMULATION, TestbedConfig
+from ..config.units import bytes_to_gb, gb
 from ..fabric.cluster import ClusterCoSimulator, ClusterFabric
 from ..fabric.cosim import RackCoSimulator, TenantSpec
 from ..fabric.faults import FaultSchedule
@@ -197,7 +198,7 @@ def fabric_job_profile(
         baseline_runtime=baseline,
         sensitivity=sensitivity,
         induced_loi=induced,
-        pool_gb=workload.footprint_bytes * (1.0 - local_fraction) / 1e9,
+        pool_gb=bytes_to_gb(workload.footprint_bytes * (1.0 - local_fraction)),
     )
 
 
@@ -403,10 +404,10 @@ class FabricCoupledProgress:
             # slack so per-job GB->byte rounding can never queue a lease the
             # cluster model already admitted).
             pools = [
-                int(round(rack.pool_capacity_gb * 1e9)) + len(rack.nodes)
+                int(round(gb(rack.pool_capacity_gb))) + len(rack.nodes)
                 for rack in racks
             ]
-            cluster_pool = int(round(self.cluster_pool_gb * 1e9))
+            cluster_pool = int(round(gb(self.cluster_pool_gb)))
             self._cluster_sim = ClusterCoSimulator(
                 fabric,
                 rack_pool_bytes=pools,
@@ -491,7 +492,7 @@ class FabricCoupledProgress:
 
     def _tenant_spec(self, job: Job, arrival: float, probe: bool = False) -> TenantSpec:
         workload = self._workload_of(job.profile)
-        pool_bytes = int(round(job.profile.pool_gb * 1e9))
+        pool_bytes = int(round(gb(job.profile.pool_gb)))
         local_fraction = self.local_fraction
         if workload.footprint_bytes > 0 and pool_bytes > 0:
             derived = 1.0 - pool_bytes / workload.footprint_bytes

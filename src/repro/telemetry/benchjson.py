@@ -7,7 +7,7 @@ PR, and CI's perf-smoke job validates every freshly emitted document against
 PRs, and diffs it against the committed baseline with :func:`compare_bench`
 so a perf regression fails the job instead of silently entering the record.
 
-Document shape (version 4)::
+Document shape (version 5)::
 
     {
       "schema": "repro.bench.cosim",
@@ -39,9 +39,12 @@ batched NumPy vs scalar contention solving at 100 racks).  Version 3 added
 the ``repro.parallel`` groups: ``sweep_sharded`` — a repeated-query sweep
 through :class:`repro.parallel.SweepRunner` at 8 workers versus a naive
 serial loop — and ``cluster_step_batched`` — the fused batched cluster
-epoch path versus the per-rack reference loop at 100 racks.  Older
-documents remain readable (each version must only cover its own groups), so
-the committed trajectory stays comparable across schema bumps.
+epoch path versus the per-rack reference loop at 100 racks.  Version 5
+added ``trace_ingest`` — streaming :func:`repro.data.slurm.read_sacct`
+throughput on a synthetic ``sacct`` dump (``extra.rows_per_s`` is the
+recorded ingestion rate).  Older documents remain readable (each version
+must only cover its own groups), so the committed trajectory stays
+comparable across schema bumps.
 
 Every benchmark group of a document's version must be present so a missing
 measurement is a schema error, not a silently shorter file.
@@ -52,24 +55,28 @@ from __future__ import annotations
 from typing import Mapping
 
 BENCH_SCHEMA = "repro.bench.cosim"
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 #: Groups a valid document must cover, per schema version (the acceptance
 #: surface of the harness).
 REQUIRED_GROUPS_V1 = ("fabric_solver", "rack_cosim_step", "cluster_events")
 REQUIRED_GROUPS_V2 = REQUIRED_GROUPS_V1 + ("cluster_fabric", "solver_vectorized")
 REQUIRED_GROUPS_V3 = REQUIRED_GROUPS_V2 + ("fault_injection",)
-REQUIRED_GROUPS = REQUIRED_GROUPS_V3 + ("sweep_sharded", "cluster_step_batched")
+REQUIRED_GROUPS_V4 = REQUIRED_GROUPS_V3 + ("sweep_sharded", "cluster_step_batched")
+REQUIRED_GROUPS = REQUIRED_GROUPS_V4 + ("trace_ingest",)
 
 REQUIRED_GROUPS_BY_VERSION = {
     1: REQUIRED_GROUPS_V1,
     2: REQUIRED_GROUPS_V2,
     3: REQUIRED_GROUPS_V3,
-    4: REQUIRED_GROUPS,
+    4: REQUIRED_GROUPS_V4,
+    5: REQUIRED_GROUPS,
 }
 
-#: Schema versions :func:`validate_bench` accepts.
-SUPPORTED_VERSIONS = (1, 2, 3, BENCH_SCHEMA_VERSION)
+#: Schema versions :func:`validate_bench` accepts — derived from the group
+#: table so a version bump can never silently drop support for the committed
+#: baseline's version (hand-maintaining this tuple once did exactly that).
+SUPPORTED_VERSIONS = tuple(sorted(REQUIRED_GROUPS_BY_VERSION))
 
 _BENCH_KEYS = ("name", "group", "config", "repeats", "mean_s", "min_s", "throughput_per_s")
 _OVERHEAD_KEYS = (
@@ -153,6 +160,11 @@ def compare_bench(
     used rather than ``mean_s`` because it is the noise-robust statistic on
     shared CI runners.  Non-comparable or one-sided benchmarks are reported
     in ``skipped`` so a silently shrinking comparison surface is visible.
+
+    A whole benchmark *group* absent from the baseline — the normal state of
+    affairs right after a schema bump, when the committed document predates
+    the group — is collapsed into one ``group '...': not in baseline`` skip
+    instead of a per-benchmark message per row, and is never a regression.
     """
     if threshold < 0:
         raise ValueError("threshold must be >= 0")
@@ -161,8 +173,14 @@ def compare_bench(
         for b in baseline.get("benchmarks", ())
         if isinstance(b, Mapping)
     }
+    base_groups = {
+        b.get("group")
+        for b in baseline.get("benchmarks", ())
+        if isinstance(b, Mapping)
+    }
     regressions: list[str] = []
     skipped: list[str] = []
+    missing_groups: dict = {}
     seen = set()
     for bench in current.get("benchmarks", ()):
         if not isinstance(bench, Mapping):
@@ -171,7 +189,11 @@ def compare_bench(
         seen.add(name)
         base = base_by_name.get(name)
         if base is None:
-            skipped.append(f"{name}: not in baseline")
+            group = bench.get("group")
+            if group not in base_groups:
+                missing_groups[group] = missing_groups.get(group, 0) + 1
+            else:
+                skipped.append(f"{name}: not in baseline")
             continue
         if base.get("config") != bench.get("config"):
             skipped.append(f"{name}: config differs from baseline")
@@ -189,6 +211,12 @@ def compare_bench(
                 f"{name}: {cur_min:.6f}s vs baseline {base_min:.6f}s "
                 f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)"
             )
+    for group, count in missing_groups.items():
+        skipped.append(
+            f"group {group!r}: not in baseline "
+            f"({count} benchmark{'s' if count != 1 else ''}; "
+            "baseline predates this group)"
+        )
     for name in base_by_name:
         if name not in seen:
             skipped.append(f"{name}: not in current run")

@@ -1,0 +1,182 @@
+"""Tests for trace replay: TraceReplayStudy, its CLI path, and the fixture.
+
+The committed fixture (``tests/data/fixtures/sacct_synthetic.txt``, a ~1k-row
+anonymized synthetic ``sacct -P`` dump) must replay end to end through
+``scheduling --trace`` with a conserved ingest report and no unexplained
+skips — the acceptance scenario of the ingestion tentpole, and what CI's
+trace-replay smoke step runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.casestudies.trace_replay import (
+    TraceJobMapper,
+    TraceReplayStudy,
+)
+from repro.cli import main
+from repro.config.errors import SchedulingError
+from repro.config.units import GiB, bytes_to_gb
+from repro.data.slurm import TraceJob, synthesize_sacct_lines
+
+FIXTURE = Path(__file__).resolve().parents[1] / "data" / "fixtures" / "sacct_synthetic.txt"
+
+HEADER = "JobIDRaw|State|NNodes|ElapsedRaw|MaxRSS|Submit|Start|End\n"
+
+
+def trace_job(**overrides):
+    base = dict(
+        job_id="1",
+        state="COMPLETED",
+        nnodes=4,
+        elapsed_s=600.0,
+        max_rss_bytes=2 * GiB,
+        ave_rss_bytes=GiB,
+        submit_unix=0.0,
+        start_unix=60.0,
+        end_unix=660.0,
+    )
+    base.update(overrides)
+    return TraceJob(**base)
+
+
+class TestTraceJobMapper:
+    def test_pool_gb_is_decimal_gb_of_the_remote_share(self):
+        mapper = TraceJobMapper(local_fraction=0.25)
+        job = trace_job()
+        profile = mapper.profile_of(job)
+        assert profile.pool_gb == pytest.approx(
+            bytes_to_gb(job.footprint_bytes * 0.75)
+        )
+        assert profile.baseline_runtime == 600.0
+        assert profile.workload == "trace"
+
+    def test_short_jobs_are_clamped_not_dropped(self):
+        profile = TraceJobMapper(min_runtime_s=5.0).profile_of(
+            trace_job(elapsed_s=0.25)
+        )
+        assert profile.baseline_runtime == 5.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SchedulingError):
+            TraceJobMapper(local_fraction=1.5)
+        with pytest.raises(SchedulingError):
+            TraceJobMapper(min_runtime_s=0.0)
+        with pytest.raises(SchedulingError):
+            TraceJobMapper(default_induced_loi=-1.0)
+
+
+class TestTraceReplayStudy:
+    def test_fixture_replays_end_to_end(self):
+        result = TraceReplayStudy(n_racks=4, nodes_per_rack=16, seed=0).run(FIXTURE)
+        summary = result.summary()
+        assert summary["jobs_replayed"] > 200
+        assert summary["jobs_finished"] == summary["jobs_replayed"]
+        assert summary["unplaceable_jobs"] == 0
+        assert summary["ingest"]["conserved"] is True
+        # Zero *unexplained* skips: every skip carries a known reason.
+        assert set(summary["ingest"]["skipped_by_reason"]) <= {
+            "cancelled-no-runtime",
+            "column-count",
+        }
+        assert summary["makespan_s"] > 0
+        assert summary["peak_pool_demand_gb"] > 0
+
+    def test_deterministic_in_seed(self):
+        lines = list(synthesize_sacct_lines(40, seed=5))
+        a = TraceReplayStudy(seed=3).run(lines).summary()
+        b = TraceReplayStudy(seed=3).run(lines).summary()
+        assert a == b
+
+    def test_oversized_jobs_counted_unplaceable(self):
+        lines = [
+            HEADER,
+            "1|COMPLETED|64|3600|100G|2024-01-01T00:00:00|2024-01-01T00:01:00|2024-01-01T01:01:00\n",
+            "2|COMPLETED|1|3600|1024K|2024-01-01T00:10:00|2024-01-01T00:11:00|2024-01-01T01:11:00\n",
+        ]
+        result = TraceReplayStudy(pool_capacity_gb=64.0).run(lines)
+        assert result.unplaceable_jobs == 1
+        assert result.jobs_replayed == 1
+
+    def test_arrivals_follow_submit_offsets(self):
+        lines = [
+            HEADER,
+            "1|COMPLETED|1|60|1024K|2024-01-01T00:00:00|2024-01-01T00:00:10|2024-01-01T00:01:10\n",
+            "2|COMPLETED|1|60|1024K|2024-01-01T01:00:00|2024-01-01T01:00:10|2024-01-01T01:01:10\n",
+        ]
+        result = TraceReplayStudy().run(lines)
+        assert result.trace_span_s == 3600.0
+        # The second job cannot have finished before it arrived.
+        assert result.outcome.makespan >= 3600.0
+
+    def test_empty_replay_raises_with_report(self):
+        lines = [HEADER, "1|RUNNING|1|0|1024K|2024-01-01T00:00:00|Unknown|Unknown\n"]
+        with pytest.raises(SchedulingError, match="no replayable jobs"):
+            TraceReplayStudy().run(lines)
+
+    def test_limit_and_window_thread_through(self):
+        lines = list(synthesize_sacct_lines(40, seed=5))
+        limited = TraceReplayStudy().run(lines, limit=5)
+        assert limited.jobs_replayed == 5
+        windowed = TraceReplayStudy().run(list(lines), window=(0.0, 900.0))
+        assert windowed.jobs_replayed < limited.jobs_replayed + 40
+        assert "outside-window" in windowed.ingest["skipped_by_reason"]
+
+
+class TestTraceCLI:
+    def run_json(self, capsys, *argv):
+        assert main(["--json", *argv]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_scheduling_trace_fixture(self, capsys):
+        data = self.run_json(
+            capsys, "scheduling", "--trace", str(FIXTURE),
+            "--racks", "4", "--nodes-per-rack", "16", "--policy", "pool-aware",
+        )
+        assert data["jobs_replayed"] > 200
+        assert data["ingest"]["conserved"] is True
+
+    def test_trace_limit_and_window_flags(self, capsys):
+        data = self.run_json(
+            capsys, "scheduling", "--trace", str(FIXTURE), "--trace-limit", "10",
+        )
+        assert data["jobs_replayed"] == 10
+        data = self.run_json(
+            capsys, "scheduling", "--trace", str(FIXTURE),
+            "--trace-window", "0:3600",
+        )
+        assert "outside-window" in data["ingest"]["skipped_by_reason"]
+
+    def test_trace_conflicts_with_coupled_and_faults(self, capsys):
+        assert main(["scheduling", "--trace", str(FIXTURE), "--coupled"]) == 2
+        assert "--trace" in capsys.readouterr().err
+        assert (
+            main(
+                ["scheduling", "--trace", str(FIXTURE),
+                 "--inject", "port-kill@5:port=0", "--overcommit"]
+            )
+            == 2
+        )
+
+    def test_missing_trace_file_is_a_clean_error(self, capsys):
+        assert main(["scheduling", "--trace", "/nonexistent/trace.psv"]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_structural_trace_error_is_clean(self, tmp_path, capsys):
+        bad = tmp_path / "bad.psv"
+        bad.write_text("NotAHeader|At|All\n1|2|3\n", encoding="utf-8")
+        assert main(["scheduling", "--trace", str(bad)]) == 2
+        assert "trace replay failed" in capsys.readouterr().err
+
+    def test_bad_window_spec_exits_with_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["scheduling", "--trace", str(FIXTURE), "--trace-window", "bogus"])
+        assert exc.value.code == 2
+
+    def test_window_end_before_start_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scheduling", "--trace", str(FIXTURE), "--trace-window", "100:50"])

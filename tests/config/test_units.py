@@ -45,3 +45,48 @@ def test_cachelines_for():
 
 def test_page_is_multiple_of_cacheline():
     assert units.PAGE_BYTES % units.CACHELINE_BYTES == 0
+
+
+# -- parse_size (Slurm-style sizes) -------------------------------------------
+
+
+def test_parse_size_suffixes_are_binary():
+    assert units.parse_size("4056K") == 4056 * units.KiB
+    assert units.parse_size("2G") == 2 * units.GiB
+    assert units.parse_size("1.5M") == int(round(1.5 * units.MiB))
+    assert units.parse_size("3T") == 3 * units.TiB
+    assert units.parse_size("0") == 0
+
+
+def test_parse_size_default_multiplier_for_bare_numbers():
+    assert units.parse_size("100") == 100
+    assert units.parse_size("100", default_multiplier=units.KiB) == 100 * units.KiB
+
+
+def test_parse_size_strips_slurm_qualifiers():
+    assert units.parse_size("512Mn") == 512 * units.MiB
+    assert units.parse_size("512Mc") == 512 * units.MiB
+
+
+def test_parse_size_rejects_garbage():
+    from repro.config.errors import ConfigurationError
+
+    for bad in ["", "  ", "12XQ", "G", "-5K", "1.2.3G"]:
+        with pytest.raises(ConfigurationError):
+            units.parse_size(bad)
+    with pytest.raises(ConfigurationError):
+        units.parse_size(1234)  # not a string
+
+
+def test_units_convention_gb_boundary():
+    """The pinned units contract (docs/data.md): Slurm RSS suffixes are
+    binary (KiB-based), scheduler-layer capacities (``JobProfile.pool_gb``,
+    ``Rack.pool_capacity_gb``) are decimal GB.  The two differ by ~7.4% at
+    the G step — mixing them up is a real, measurable bug, so the boundary
+    is pinned here."""
+    one_g_rss = units.parse_size("1G")
+    assert one_g_rss == units.GiB != units.GB
+    # Crossing the boundary: binary RSS bytes -> decimal GB.
+    assert units.bytes_to_gb(one_g_rss) == pytest.approx(1.073741824)
+    # And the scheduler layer converts decimal GB -> bytes via gb().
+    assert units.gb(1.0) == 1e9

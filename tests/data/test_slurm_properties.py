@@ -1,0 +1,142 @@
+"""Property-based suite for the sacct ingester (hypothesis).
+
+Pins the tentpole's algebraic contracts over wide input spaces:
+
+* ``parse_size`` / ``parse_elapsed`` round-trip values rendered the way
+  Slurm renders them;
+* folding is monotone — a folded job's NNodes/RSS/elapsed is never below
+  any constituent step's;
+* row conservation — for any generated trace, fully consumed, every data
+  row is folded into a yielded job or counted in exactly one skip reason.
+
+``HYPOTHESIS_PROFILE=nightly`` raises the example budget (conftest.py).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config.units import GiB, KiB, MiB, TiB, parse_size
+from repro.data.slurm import IngestReport, SacctReader, parse_elapsed
+
+HEADER = "JobIDRaw|State|NNodes|ElapsedRaw|MaxRSS|AveRSS|Submit|Start|End\n"
+
+
+# -- parser round-trips -------------------------------------------------------
+
+
+@given(kib=st.integers(min_value=0, max_value=10**12))
+def test_parse_size_round_trips_kib_rendering(kib):
+    """Slurm renders RSS as '<n>K'; parsing that must recover exact bytes."""
+    assert parse_size(f"{kib}K") == kib * KiB
+
+
+@given(
+    value=st.integers(min_value=0, max_value=10**6),
+    suffix=st.sampled_from(["K", "M", "G", "T"]),
+)
+def test_parse_size_suffixes_are_exactly_binary(value, suffix):
+    unit = {"K": KiB, "M": MiB, "G": GiB, "T": TiB}[suffix]
+    assert parse_size(f"{value}{suffix}") == value * unit
+
+
+@given(kib=st.integers(min_value=0, max_value=10**9))
+def test_parse_size_qualifier_suffix_is_transparent(kib):
+    """Older sacct emits per-node/per-task qualifiers; they must not change bytes."""
+    plain = parse_size(f"{kib}K")
+    assert parse_size(f"{kib}Kn") == plain
+    assert parse_size(f"{kib}Kc") == plain
+
+
+@given(seconds=st.integers(min_value=0, max_value=10**7))
+def test_parse_elapsed_round_trips_clock_rendering(seconds):
+    """Render seconds the way sacct's Elapsed does; parsing must invert it."""
+    days, rest = divmod(seconds, 86400)
+    h, rest = divmod(rest, 3600)
+    m, s = divmod(rest, 60)
+    text = f"{days}-{h:02d}:{m:02d}:{s:02d}" if days else f"{h:02d}:{m:02d}:{s:02d}"
+    assert parse_elapsed(text) == float(seconds)
+    assert parse_elapsed(str(seconds)) == float(seconds)  # ElapsedRaw form
+
+
+# -- folding invariants -------------------------------------------------------
+
+step_row = st.tuples(
+    st.integers(min_value=1, max_value=64),      # nnodes
+    st.integers(min_value=1, max_value=10**6),   # elapsed seconds
+    st.integers(min_value=0, max_value=10**8),   # max rss KiB
+    st.integers(min_value=0, max_value=10**8),   # ave rss KiB
+)
+
+
+@given(steps=st.lists(step_row, min_size=0, max_size=6), alloc=step_row)
+def test_fold_is_never_below_any_constituent(steps, alloc):
+    def render(job_id, cells):
+        nn, el, mx, av = cells
+        return (
+            f"{job_id}|COMPLETED|{nn}|{el}|{mx}K|{av}K|"
+            "2024-01-01T00:00:00|2024-01-01T00:01:00|2024-01-01T01:00:00\n"
+        )
+
+    lines = [HEADER, render("1", alloc)]
+    lines += [render(f"1.{i}", cells) for i, cells in enumerate(steps)]
+    jobs = list(SacctReader(lines))
+    assert len(jobs) == 1
+    job = jobs[0]
+    for nn, el, mx, av in [alloc] + steps:
+        assert job.nnodes >= nn
+        assert job.elapsed_s >= el
+        assert job.max_rss_bytes >= mx * KiB
+        assert job.ave_rss_bytes >= av * KiB
+    assert job.steps_folded == len(steps)
+    assert job.rows_folded == len(steps) + 1
+    assert job.footprint_bytes >= job.max_rss_bytes
+
+
+# -- conservation -------------------------------------------------------------
+
+#: One job group: (state, n_steps, elapsed, corrupt_row_after?).
+job_shape = st.tuples(
+    st.sampled_from(["COMPLETED", "CANCELLED by 1000", "RUNNING", "FAILED", "TIMEOUT"]),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=5000),
+    st.booleans(),
+)
+
+
+@given(shapes=st.lists(job_shape, min_size=0, max_size=12))
+def test_every_row_is_folded_or_skipped(shapes):
+    lines = [HEADER]
+    data_rows = 0
+    for index, (state, n_steps, elapsed, corrupt_after) in enumerate(shapes):
+        job_id = str(1000 + index)
+        running = state == "RUNNING"
+        start = "Unknown" if elapsed == 0 else "2024-01-01T00:01:00"
+        end = "Unknown" if running or elapsed == 0 else "2024-01-01T02:00:00"
+        for step in [""] + [f".{i}" for i in range(n_steps)]:
+            lines.append(
+                f"{job_id}{step}|{state}|2|{elapsed}|1024K|512K|"
+                f"2024-01-01T00:00:00|{start}|{end}\n"
+            )
+            data_rows += 1
+        if corrupt_after:
+            lines.append("corrupted|row\n")
+            data_rows += 1
+    report = IngestReport()
+    jobs = list(SacctReader(lines, report=report))
+    assert report.rows_read == data_rows
+    assert report.conserved
+    assert report.rows_in_yielded_jobs + report.rows_skipped == data_rows
+    assert report.jobs_yielded == len(jobs)
+    # Yielded jobs are exactly the replayable shapes (corrupt rows between
+    # groups never split or swallow a neighbouring job).
+    replayable = sum(
+        1 for state, _, elapsed, _ in shapes
+        if state not in ("RUNNING",) and elapsed > 0
+    )
+    assert len(jobs) == replayable

@@ -30,6 +30,7 @@ class TestIntraRepoLinks:
             "benchmarks.md",
             "failure_model.md",
             "parallelism.md",
+            "data.md",
         ):
             assert (ROOT / "docs" / name).exists(), f"docs/{name} is missing"
 
@@ -78,6 +79,16 @@ class TestCliReferenceSnippets:
             optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
         )
         assert tests > 0, "docs/parallelism.md contains no runnable snippets"
+        assert failures == 0
+
+    def test_data_md_doctests_pass(self):
+        """The trace-replay page's worked ingestion example reproduces."""
+        failures, tests = doctest.testfile(
+            str(ROOT / "docs" / "data.md"),
+            module_relative=False,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        )
+        assert tests > 0, "docs/data.md contains no runnable snippets"
         assert failures == 0
 
     def test_every_subcommand_is_documented(self):

@@ -275,3 +275,23 @@ class TestCoupledSchedulingStudy:
         assert result.max_finish_time_shift > 0
         summary = result.summary()
         assert {"static", "fabric_coupled", "makespan_delta"} <= set(summary)
+
+
+class TestUnitsConvention:
+    """Regression pin: scheduler-layer capacities are decimal GB end to end."""
+
+    def test_fabric_job_profile_pool_gb_is_decimal(self, spec):
+        from repro.config.units import bytes_to_gb
+
+        profile = fabric_job_profile(spec, local_fraction=0.25)
+        assert profile.pool_gb == pytest.approx(
+            bytes_to_gb(spec.footprint_bytes * 0.75)
+        )
+
+    def test_tenant_lease_round_trips_pool_gb(self, spec, profile):
+        # The GB->bytes conversion of the tenant lease must invert the
+        # bytes->GB conversion of the profile, not mix in a binary unit.
+        model = coupled_progress(spec)
+        job = Job(job_id=1, profile=profile)
+        tenant = model._tenant_spec(job, arrival=0.0)
+        assert tenant.lease_bytes == int(round(profile.pool_gb * 1e9))

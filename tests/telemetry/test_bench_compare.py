@@ -115,12 +115,42 @@ class TestCompareBench:
         )
 
     def test_one_sided_benchmarks_are_reported_skipped(self):
+        # A whole group the baseline predates collapses to one group-level
+        # skip (the post-schema-bump case) instead of a per-row message.
         current = document([bench_row("brand_new.bench", 0.010)])
         regressions, skipped = compare_bench(BASELINE, current)
         assert regressions == []
-        assert any("brand_new.bench: not in baseline" in s for s in skipped)
+        assert any("group 'brand_new': not in baseline" in s for s in skipped)
+        assert not any("brand_new.bench" in s for s in skipped)
         # Every baseline row is absent from the current run.
         assert sum("not in current run" in s for s in skipped) == 5
+
+    def test_new_name_in_known_group_still_skipped_by_name(self):
+        current = document(
+            [bench_row("fabric_solver.small", 0.010), bench_row("fabric_solver.huge", 0.010)]
+        )
+        regressions, skipped = compare_bench(BASELINE, current)
+        assert regressions == []
+        assert any("fabric_solver.huge: not in baseline" in s for s in skipped)
+
+    def test_baseline_without_new_group_never_false_fails(self):
+        # The exact post-bump CI situation: a fresh v5 run with trace_ingest
+        # compared against a committed v4 baseline.  Must skip, not regress
+        # and not KeyError.
+        baseline = document(self._v4_rows(), version=4)
+        current = document(
+            self._v4_rows() + [bench_row("trace_ingest.synthetic", 0.010)]
+        )
+        assert validate_bench(baseline) == []
+        regressions, skipped = compare_bench(baseline, current)
+        assert regressions == []
+        assert any("group 'trace_ingest': not in baseline" in s for s in skipped)
+
+    @staticmethod
+    def _v4_rows():
+        from repro.telemetry.benchjson import REQUIRED_GROUPS_V4
+
+        return [bench_row(f"{g}.case", 0.010) for g in REQUIRED_GROUPS_V4]
 
     def test_unusable_min_s_is_skipped(self):
         current = document([bench_row("fabric_solver.small", None)])
@@ -178,7 +208,24 @@ class TestSchemaVersions:
         doc = document(self._rows(REQUIRED_GROUPS_V1), version=1)
         assert validate_bench(doc) == []
 
+    def test_v5_document_requires_trace_ingest_group(self):
+        from repro.telemetry.benchjson import REQUIRED_GROUPS_V4
+
+        errors = validate_bench(document(self._rows(REQUIRED_GROUPS_V4), version=5))
+        assert any("trace_ingest" in e for e in errors)
+        assert validate_bench(document(self._rows(REQUIRED_GROUPS), version=5)) == []
+
+    def test_supported_versions_track_the_group_table(self):
+        # A version bump that forgets to register its group tuple must never
+        # silently drop support for older committed baselines (this was a
+        # real latent bug: SUPPORTED_VERSIONS was hand-maintained).
+        from repro.telemetry.benchjson import REQUIRED_GROUPS_BY_VERSION
+
+        assert SUPPORTED_VERSIONS == tuple(sorted(REQUIRED_GROUPS_BY_VERSION))
+        assert BENCH_SCHEMA_VERSION in SUPPORTED_VERSIONS
+        assert all(v in SUPPORTED_VERSIONS for v in range(1, BENCH_SCHEMA_VERSION + 1))
+
     def test_unsupported_version_rejected(self):
-        doc = document(self._rows(REQUIRED_GROUPS), version=5)
+        doc = document(self._rows(REQUIRED_GROUPS), version=99)
         assert any("version" in e for e in validate_bench(doc))
-        assert 5 not in SUPPORTED_VERSIONS
+        assert 99 not in SUPPORTED_VERSIONS

@@ -112,3 +112,57 @@ def test_fabric_command_with_timeline_and_capped_pool(capsys):
     # Only two leases fit, so the third tenant waits.
     waits = sorted(t["wait_s"] for t in data["tenants"])
     assert waits[-1] > 0
+
+
+class TestNumericFlagHardening:
+    """Malformed numeric flags fail with an argparse diagnostic, never a
+    traceback (the repro.data.slurm error style, applied CLI-wide)."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["scheduling", "--runs", "0"],
+            ["scheduling", "--runs", "abc"],
+            ["scheduling", "--racks", "-2"],
+            ["scheduling", "--pool-gb", "0"],
+            ["scheduling", "--pool-gb", "nan"],
+            ["scheduling", "--stagger", "-1"],
+            ["scheduling", "--cluster-pool-gb", "-1"],
+            ["scheduling", "--trace-limit", "0"],
+            ["scheduling", "--trace-local-fraction", "1.5"],
+            ["scheduling", "--trace-window", "oops"],
+            ["scheduling", "--trace-window", "1:2:3"],
+            ["fabric", "--tenants", "0"],
+            ["fabric", "--local-fraction", "2.0"],
+            ["fabric", "--epoch-seconds", "-0.5"],
+            ["figure", "13", "--runs", "0"],
+            ["--jobs", "0", "table", "1"],
+        ],
+    )
+    def test_bad_numeric_flag_exits_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert "usage:" in err
+
+    def test_validator_messages_are_actionable(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scheduling", "--runs", "-3"])
+        assert "must be >= 1, got -3" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["scheduling", "--trace-window", "100:50"])
+        assert "before start" in capsys.readouterr().err
+
+    def test_inject_nonfinite_time_is_clean(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fabric", "--tenants", "2", "--inject", "port-kill@nan:port=0"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "not finite" in err
+        assert "Traceback" not in err
+
+    def test_valid_edge_values_still_accepted(self, capsys):
+        assert main(["--json", "scheduling", "--runs", "1"]) == 0
+        capsys.readouterr()

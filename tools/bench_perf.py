@@ -26,7 +26,10 @@ and the overhead of the telemetry layer itself:
 8. ``sweep_sharded`` — a repeated-query parameter sweep executed through
    :class:`repro.parallel.SweepRunner` at 8 workers vs a naive serial loop
    over the same query stream (``extra.speedup_vs_serial`` is the
-   acceptance number of the sweep engine).
+   acceptance number of the sweep engine);
+9. ``trace_ingest`` — streaming ``sacct`` trace ingestion through
+   :func:`repro.data.slurm.read_sacct` on a synthetic dump
+   (``extra.rows_per_s`` is the recorded ingestion rate).
 
 The emitted JSON validates against
 :mod:`repro.telemetry.benchjson` (``--check FILE`` re-validates any existing
@@ -562,6 +565,52 @@ def _sweep_point_query(workload: str, scale: float, tenants: int) -> dict:
     return _sweep_point(workload, scale, tenants, request=0)
 
 
+#: The ``trace_ingest`` dump size — identical in quick and full runs (only
+#: repeats differ) so quick CI documents stay config-comparable with the
+#: committed full-run baseline on this group.
+TRACE_JOBS = 400
+TRACE_SEED = 0
+
+
+def bench_trace_ingest(quick: bool) -> dict:
+    """Streaming ``read_sacct`` throughput on a synthetic ``sacct`` dump.
+
+    The dump (~1.6k rows for 400 jobs: allocation + ``.batch``/``.extern`` +
+    numbered steps, with the generator's usual sprinkling of cancelled and
+    malformed rows) is synthesized once in memory; each repeat streams it
+    through :func:`read_sacct` end to end, folding steps and skipping bad
+    rows exactly as a replay would.  ``extra.rows_per_s`` (best-of) is the
+    recorded ingestion rate of the trajectory.
+    """
+    from repro.data.slurm import IngestReport, read_sacct, synthesize_sacct_lines
+
+    lines = list(synthesize_sacct_lines(TRACE_JOBS, seed=TRACE_SEED))
+    repeats = 3 if quick else 10
+
+    def ingest():
+        report = IngestReport()
+        jobs = sum(1 for _ in read_sacct(lines, report=report))
+        return jobs, report
+
+    jobs, report = ingest()
+    timing = _timeit(lambda: ingest(), repeats)
+    rows_per_s = report.rows_read / timing["min_s"] if timing["min_s"] > 0 else 0.0
+    return {
+        "name": "trace_ingest.synthetic",
+        "group": "trace_ingest",
+        "config": {"n_jobs": TRACE_JOBS, "seed": TRACE_SEED},
+        **timing,
+        "extra": {
+            "rows": report.rows_read,
+            "jobs_yielded": jobs,
+            "steps_folded": report.steps_folded,
+            "rows_skipped": report.rows_skipped,
+            "conserved": report.conserved,
+            "rows_per_s": rows_per_s,
+        },
+    }
+
+
 def _synthetic_jobs(n_jobs: int) -> tuple[list[JobProfile], list[float]]:
     """A deterministic job stream exercising placement, waiting and retiring."""
     profiles = []
@@ -683,6 +732,7 @@ def run_benchmarks(quick: bool) -> dict:
     benchmarks.extend(bench_fault_injection(quick))
     benchmarks.extend(bench_cluster_step_batched(quick))
     benchmarks.extend(bench_sweep_sharded(quick))
+    benchmarks.append(bench_trace_ingest(quick))
     return {
         "schema": BENCH_SCHEMA,
         "version": BENCH_SCHEMA_VERSION,
@@ -774,6 +824,12 @@ def main(argv=None) -> int:
         if b["name"] == "sweep_sharded.jobs8"
     )
     print(f"  sharded sweep speedup (8 workers, repeated queries): {sweep_speedup:.1f}x")
+    rows_per_s = next(
+        b["extra"]["rows_per_s"]
+        for b in data["benchmarks"]
+        if b["name"] == "trace_ingest.synthetic"
+    )
+    print(f"  sacct trace ingestion: {rows_per_s:.0f} rows/s")
 
     if args.compare is not None:
         with open(args.compare, "r", encoding="utf-8") as fh:
